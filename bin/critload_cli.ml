@@ -1,0 +1,281 @@
+(* critload — command-line interface to the library.
+
+   Subcommands:
+     verify                      run every app functionally + host checks
+     classify <app|file.ptx>     print the load classification
+     characterize <app>          functional characterization (Figs 1,9-12)
+     simulate <app>              cycle simulation (Figs 2-8 metrics)
+     list                        list the applications *)
+
+open Cmdliner
+
+let scale_arg =
+  let scale_conv =
+    Arg.enum
+      [ ("small", Workloads.App.Small); ("default", Workloads.App.Default);
+        ("large", Workloads.App.Large) ]
+  in
+  Arg.(
+    value
+    & opt scale_conv Workloads.App.Default
+    & info [ "scale" ] ~docv:"SCALE" ~doc:"Dataset scale: small|default|large.")
+
+let cap_arg =
+  Arg.(
+    value & opt int 150_000
+    & info [ "cap" ] ~docv:"N"
+        ~doc:"Warp-instruction cap for cycle simulation (0 = none).")
+
+let app_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"APP" ~doc:"Application name (see `critload list`).")
+
+(* ---- list ---- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (a : Workloads.App.t) ->
+        Printf.printf "%-6s %-7s %s\n" a.Workloads.App.name
+          (Workloads.App.category_name a.Workloads.App.category)
+          a.Workloads.App.description)
+      Workloads.Suite.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the 15 applications of the suite.")
+    Term.(const run $ const ())
+
+(* ---- verify ---- *)
+
+let verify_cmd =
+  let run scale =
+    let failures = ref 0 in
+    List.iter
+      (fun (app : Workloads.App.t) ->
+        let t0 = Unix.gettimeofday () in
+        let r = Critload.Runner.run_func ~check:true app scale in
+        let ok = r.Critload.Runner.fr_check in
+        if not ok then incr failures;
+        Printf.printf "%-6s %-4s  %8d warp insts  (%.2fs)\n"
+          app.Workloads.App.name
+          (if ok then "OK" else "FAIL")
+          r.Critload.Runner.fr_fs.Gsim.Funcsim.warp_insts
+          (Unix.gettimeofday () -. t0))
+      Workloads.Suite.all;
+    if !failures > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Run every application functionally and check the results.")
+    Term.(const run $ scale_arg)
+
+(* ---- classify ---- *)
+
+let classify_cmd =
+  let run target =
+    if Sys.file_exists target then begin
+      let ic = open_in target in
+      let text = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let kernel = Ptx.Parse.kernel_of_string text in
+      Format.printf "%a@." Dataflow.Classify.pp_result
+        (Dataflow.Classify.classify kernel);
+      Format.printf "static coalescing prediction (1-D block assumed):@.%a@."
+        (Dataflow.Stride.pp_predictions ?block:None) kernel
+    end
+    else begin
+      let app = Workloads.Suite.find target in
+      let run = app.Workloads.App.make Workloads.App.Small in
+      let seen = Hashtbl.create 8 in
+      let continue_ = ref true in
+      while !continue_ do
+        match run.Workloads.App.next_launch () with
+        | None -> continue_ := false
+        | Some launch ->
+            let k = launch.Gsim.Launch.kernel in
+            if not (Hashtbl.mem seen k.Ptx.Kernel.kname) then begin
+              Hashtbl.add seen k.Ptx.Kernel.kname ();
+              Format.printf "%a" Dataflow.Classify.pp_result
+                launch.Gsim.Launch.classes;
+              Format.printf "  coalescing prediction:@.%a"
+                (Dataflow.Stride.pp_predictions
+                   ~block:launch.Gsim.Launch.block)
+                k;
+              (* spare registers bound the prefetch slots of the
+                 paper's [16]-style optimization *)
+              let cfg = Ptx.Cfg.build k in
+              let lv = Dataflow.Liveness.compute k cfg in
+              let pressure = Dataflow.Liveness.max_pressure lv in
+              Format.printf
+                "  registers: %d used, peak pressure %d, %d spare@.@."
+                k.Ptx.Kernel.nregs pressure
+                (max 0 (k.Ptx.Kernel.nregs - pressure))
+            end
+      done
+    end
+  in
+  let target =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"APP|FILE" ~doc:"Application name or .ptx file.")
+  in
+  Cmd.v
+    (Cmd.info "classify"
+       ~doc:"Print the deterministic / non-deterministic load classification.")
+    Term.(const run $ target)
+
+(* ---- characterize (functional) ---- *)
+
+let characterize_cmd =
+  let run name scale =
+    let app = Workloads.Suite.find name in
+    let r = Critload.Runner.run_func ~check:false app scale in
+    let fs = r.Critload.Runner.fr_fs in
+    let open Dataflow.Classify in
+    Printf.printf "app: %s (%s scale)\n" name
+      (match scale with
+      | Workloads.App.Small -> "small"
+      | Workloads.App.Default -> "default"
+      | Workloads.App.Large -> "large");
+    Printf.printf "warp instructions: %d (%d launches, %d CTAs)\n"
+      fs.Gsim.Funcsim.warp_insts r.Critload.Runner.fr_launches
+      r.Critload.Runner.fr_ctas;
+    Printf.printf "static loads: %d D, %d N\n" r.Critload.Runner.fr_static_d
+      r.Critload.Runner.fr_static_n;
+    Printf.printf "dynamic load warps: %d D, %d N (D fraction %.1f%%)\n"
+      fs.Gsim.Funcsim.gld_warps.(0)
+      fs.Gsim.Funcsim.gld_warps.(1)
+      (100.0 *. Gsim.Funcsim.deterministic_fraction fs);
+    Printf.printf "requests/active thread: N %.2f vs D %.2f\n"
+      (Gsim.Funcsim.requests_per_active_thread fs Nondeterministic)
+      (Gsim.Funcsim.requests_per_active_thread fs Deterministic);
+    Printf.printf "shared loads per global load: %.2f\n"
+      (Gsim.Funcsim.shared_per_global fs);
+    Printf.printf "cold miss: %.1f%%, accesses/block: %.1f\n"
+      (100.0 *. Gsim.Funcsim.cold_miss_ratio fs)
+      (Gsim.Funcsim.avg_accesses_per_block fs);
+    let sh = Gsim.Funcsim.sharing fs in
+    Printf.printf
+      "inter-CTA sharing: %.1f%% blocks, %.1f%% accesses, %.1f CTAs/block\n"
+      (100.0 *. sh.Gsim.Funcsim.sh_block_ratio)
+      (100.0 *. sh.Gsim.Funcsim.sh_access_ratio)
+      sh.Gsim.Funcsim.sh_avg_ctas;
+    (* hottest load instructions *)
+    let hot =
+      Hashtbl.fold (fun k v acc -> (v, k) :: acc) fs.Gsim.Funcsim.gld_warps_by_pc []
+      |> List.sort compare |> List.rev
+      |> List.filteri (fun i _ -> i < 8)
+    in
+    Printf.printf "hottest global loads:\n";
+    List.iter
+      (fun (count, (kernel, pc)) ->
+        Printf.printf "  %-14s pc %3d  %8d warp loads\n" kernel pc count)
+      hot
+  in
+  Cmd.v
+    (Cmd.info "characterize"
+       ~doc:"Functional characterization of one application.")
+    Term.(const run $ app_arg $ scale_arg)
+
+(* ---- dot (graphviz export) ---- *)
+
+let dot_cmd =
+  let run name which =
+    let app = Workloads.Suite.find name in
+    let run = app.Workloads.App.make Workloads.App.Small in
+    (match run.Workloads.App.next_launch () with
+    | None -> prerr_endline "no launch"
+    | Some launch ->
+        let k = launch.Gsim.Launch.kernel in
+        (match which with
+        | "cfg" -> print_string (Ptx.Cfg.to_dot (Ptx.Cfg.build k))
+        | "deps" ->
+            let cfg = Ptx.Cfg.build k in
+            let r = Dataflow.Reaching.compute k cfg in
+            print_string (Dataflow.Depgraph.to_dot (Dataflow.Depgraph.build k r))
+        | other -> Printf.eprintf "unknown graph kind %s (cfg|deps)\n" other));
+    ()
+  in
+  let which =
+    Arg.(
+      value
+      & opt string "cfg"
+      & info [ "kind" ] ~docv:"KIND" ~doc:"Graph to export: cfg or deps.")
+  in
+  Cmd.v
+    (Cmd.info "dot"
+       ~doc:
+         "Export the first kernel's control-flow or dependence graph as \
+          Graphviz dot.")
+    Term.(const run $ app_arg $ which)
+
+(* ---- advise ---- *)
+
+let advise_cmd =
+  let run name scale =
+    let app = Workloads.Suite.find name in
+    let advice = Critload.Advisor.advise_app app scale in
+    Format.printf
+      "per-load hardware advice for %s (class x stride x walk):@.%a" name
+      Critload.Advisor.pp_advice advice;
+    let n_policies = List.length (Critload.Advisor.policies advice) in
+    Printf.printf "%d of %d loads get a policy override\n" n_policies
+      (List.length advice)
+  in
+  Cmd.v
+    (Cmd.info "advise"
+       ~doc:
+         "Per-load instruction-aware policy advice (paper Section X.A): \
+          prefetch walking non-deterministic loads, split gathers.")
+    Term.(const run $ app_arg $ scale_arg)
+
+(* ---- simulate (cycle-level) ---- *)
+
+let simulate_cmd =
+  let run name scale cap =
+    let app = Workloads.Suite.find name in
+    let cfg = { Gsim.Config.default with Gsim.Config.max_warp_insts = cap } in
+    let r = Critload.Runner.run_timing ~cfg app scale in
+    let s = r.Critload.Runner.tr_stats in
+    let open Dataflow.Classify in
+    Printf.printf "cycles: %d, warp instructions: %d, CTAs completed: %d\n"
+      s.Gsim.Stats.cycles s.Gsim.Stats.warp_insts s.Gsim.Stats.completed_ctas;
+    List.iter
+      (fun (nm, c) ->
+        Printf.printf
+          "%s: req/warp %.2f, req/thread %.2f, turnaround %.0f, L1 miss \
+           %.0f%%, L2 miss %.0f%%\n"
+          nm
+          (Gsim.Stats.requests_per_warp s c)
+          (Gsim.Stats.requests_per_active_thread s c)
+          (Gsim.Stats.avg_turnaround s c)
+          (100.0 *. Gsim.Stats.l1_miss_ratio s c)
+          (100.0 *. Gsim.Stats.l2_miss_ratio s c))
+      [ ("N", Nondeterministic); ("D", Deterministic) ];
+    let b = Gsim.Stats.l1_cycle_breakdown s in
+    Printf.printf
+      "L1 cycles: hit %.0f%%, hit-reserved %.0f%%, miss %.0f%%, tag-fail \
+       %.0f%%, mshr-fail %.0f%%, icnt-fail %.0f%%\n"
+      (100. *. b.(0)) (100. *. b.(1)) (100. *. b.(2)) (100. *. b.(3))
+      (100. *. b.(4)) (100. *. b.(5));
+    let n_sms = cfg.Gsim.Config.n_sms in
+    Printf.printf "unit busy: SP %.1f%%, SFU %.1f%%, LD/ST %.1f%%\n"
+      (100. *. Gsim.Stats.unit_busy_fraction s ~n_sms Gsim.Exec.SP)
+      (100. *. Gsim.Stats.unit_busy_fraction s ~n_sms Gsim.Exec.SFU)
+      (100. *. Gsim.Stats.unit_busy_fraction s ~n_sms Gsim.Exec.LDST)
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Cycle-level simulation of one application.")
+    Term.(const run $ app_arg $ scale_arg $ cap_arg)
+
+let () =
+  let doc =
+    "critical-load classification and GPU memory-system characterization"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "critload" ~doc)
+          [ list_cmd; verify_cmd; classify_cmd; characterize_cmd;
+            advise_cmd; dot_cmd; simulate_cmd ]))

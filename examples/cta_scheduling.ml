@@ -1,0 +1,36 @@
+(* Section X.B in action: compare round-robin CTA scheduling against
+   the paper's clustered proposal (neighbouring CTAs on the same SM) on
+   an application with strong neighbour-CTA locality.
+
+     dune exec examples/cta_scheduling.exe [app] *)
+
+let run_variant app scale sched name =
+  let cfg =
+    { Gsim.Config.default with
+      Gsim.Config.cta_sched = sched;
+      max_warp_insts = 150_000 }
+  in
+  let r = Critload.Runner.run_timing ~cfg app scale in
+  let s = r.Critload.Runner.tr_stats in
+  let open Dataflow.Classify in
+  Printf.printf
+    "%-12s cycles=%-9d L1 miss: N=%4.1f%% D=%4.1f%%  turnaround: N=%.0f \
+     D=%.0f\n"
+    name s.Gsim.Stats.cycles
+    (100. *. Gsim.Stats.l1_miss_ratio s Nondeterministic)
+    (100. *. Gsim.Stats.l1_miss_ratio s Deterministic)
+    (Gsim.Stats.avg_turnaround s Nondeterministic)
+    (Gsim.Stats.avg_turnaround s Deterministic);
+  s.Gsim.Stats.cycles
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "2mm" in
+  let app = Workloads.Suite.find name in
+  let scale = Workloads.App.Default in
+  Printf.printf "CTA scheduling ablation on %s\n" name;
+  let base = run_variant app scale Gsim.Config.Round_robin "round-robin" in
+  let c2 = run_variant app scale (Gsim.Config.Clustered 2) "clustered-2" in
+  let c4 = run_variant app scale (Gsim.Config.Clustered 4) "clustered-4" in
+  Printf.printf "speedup over round-robin: clustered-2 %.2fx, clustered-4 %.2fx\n"
+    (float_of_int base /. float_of_int c2)
+    (float_of_int base /. float_of_int c4)

@@ -1,0 +1,702 @@
+(* One function per paper table/figure.  Each returns structured rows
+   (used by the tests) and can render itself as text (used by the bench
+   harness).  The shapes to compare against the paper are noted in
+   EXPERIMENTS.md. *)
+
+module App = Workloads.App
+module Suite = Workloads.Suite
+module Stats = Gsim.Stats
+module Config = Gsim.Config
+open Dataflow.Classify
+
+let cat_name = App.category_name
+
+(* Caps keep the cycle simulations tractable; the paper similarly
+   simulated only the first billion instructions. *)
+let func_cap = 3_000_000
+
+let timing_cap = ref 120_000
+
+(* Override the per-app warp-instruction cap of the timing runs (the
+   bench harness exposes this as --cap). *)
+let set_timing_cap n = timing_cap := n
+
+let timing_cfg ?(cfg = Config.default) ?max_warp_insts () =
+  let max_warp_insts =
+    match max_warp_insts with Some n -> n | None -> !timing_cap
+  in
+  { cfg with Config.max_warp_insts }
+
+let all_apps = Suite.all
+
+(* Cache of functional runs (several figures share them). *)
+let func_results : (string * App.scale, Runner.func_result) Hashtbl.t =
+  Hashtbl.create 16
+
+let func_result ?(check = false) scale app =
+  let key = (app.App.name, scale) in
+  match Hashtbl.find_opt func_results key with
+  | Some r -> r
+  | None ->
+      let r = Runner.run_func ~max_warp_insts:func_cap ~check app scale in
+      Hashtbl.add func_results key r;
+      r
+
+let timing_results : (string * App.scale, Runner.timing_result) Hashtbl.t =
+  Hashtbl.create 16
+
+let timing_result ?cfg scale app =
+  match cfg with
+  | Some cfg -> Runner.run_timing ~cfg app scale
+  | None -> (
+      let key = (app.App.name, scale) in
+      match Hashtbl.find_opt timing_results key with
+      | Some r -> r
+      | None ->
+          let r = Runner.run_timing ~cfg:(timing_cfg ()) app scale in
+          Hashtbl.add timing_results key r;
+          r)
+
+(* ---------------- Table I ---------------- *)
+
+type table1_row = {
+  t1_name : string;
+  t1_category : string;
+  t1_ctas : int;
+  t1_threads_per_cta : int;
+  t1_total_insts : int; (* dynamic warp instructions *)
+  t1_gld_insts : int; (* dynamic global-load warp instructions *)
+  t1_gld_fraction : float;
+}
+
+let table1 scale =
+  List.map
+    (fun app ->
+      let r = func_result scale app in
+      let fs = r.Runner.fr_fs in
+      let total = fs.Gsim.Funcsim.warp_insts in
+      let gld = Gsim.Funcsim.total_gld_warps fs in
+      {
+        t1_name = app.App.name;
+        t1_category = cat_name app.App.category;
+        t1_ctas = r.Runner.fr_ctas;
+        t1_threads_per_cta = r.Runner.fr_threads_per_cta;
+        t1_total_insts = total;
+        t1_gld_insts = gld;
+        t1_gld_fraction =
+          (if total = 0 then 0.0 else float_of_int gld /. float_of_int total);
+      })
+    all_apps
+
+let render_table1 scale =
+  Tables.render
+    ~title:
+      "Table I: application characteristics (dynamic warp instructions, \
+       scaled datasets)"
+    ~header:
+      [ "app"; "category"; "CTAs"; "thr/CTA"; "total insts"; "global loads";
+        "load frac" ]
+    (List.map
+       (fun r ->
+         [ r.t1_name; r.t1_category; Tables.int r.t1_ctas;
+           Tables.int r.t1_threads_per_cta; Tables.int r.t1_total_insts;
+           Tables.int r.t1_gld_insts; Tables.pct r.t1_gld_fraction ])
+       (table1 scale))
+
+(* ---------------- Table II ---------------- *)
+
+let render_table2 () =
+  Format.asprintf
+    "Table II: simulated configuration (Tesla C2050 / GPGPU-Sim defaults)@\n\
+     %a@\n"
+    Config.pp Config.default
+
+(* ---------------- Table III ---------------- *)
+
+let render_table3 scale =
+  Tables.render
+    ~title:"Table III: profiler-counter emulation (functional simulation)"
+    ~header:
+      [ "app"; "gld_request"; "shared_load"; "l1_hit"; "l1_miss";
+        "l2_read_hits"; "l2_read_queries"; "l2_sector_queries" ]
+    (List.map
+       (fun app ->
+         let r = func_result scale app in
+         let c = Gsim.Funcsim.counters r.Runner.fr_fs in
+         [ app.App.name; Tables.int c.Gsim.Funcsim.gld_request;
+           Tables.int c.Gsim.Funcsim.shared_load;
+           Tables.int c.Gsim.Funcsim.l1_global_load_hit;
+           Tables.int c.Gsim.Funcsim.l1_global_load_miss;
+           Tables.int c.Gsim.Funcsim.l2_read_hits;
+           Tables.int c.Gsim.Funcsim.l2_read_queries;
+           Tables.int c.Gsim.Funcsim.l2_read_sector_queries ])
+       all_apps)
+
+(* ---------------- Fig 1 ---------------- *)
+
+type fig1_row = {
+  f1_name : string;
+  f1_static_d : int;
+  f1_static_n : int;
+  f1_dyn_d_fraction : float; (* fraction of executed global load warps *)
+}
+
+let fig1 scale =
+  List.map
+    (fun app ->
+      let r = func_result scale app in
+      {
+        f1_name = app.App.name;
+        f1_static_d = r.Runner.fr_static_d;
+        f1_static_n = r.Runner.fr_static_n;
+        f1_dyn_d_fraction = Gsim.Funcsim.deterministic_fraction r.Runner.fr_fs;
+      })
+    all_apps
+
+let render_fig1 scale =
+  Tables.render
+    ~title:
+      "Fig 1: deterministic vs non-deterministic global loads (static \
+       instruction counts and dynamic warp fractions)"
+    ~header:[ "app"; "static D"; "static N"; "static D frac"; "dynamic D frac" ]
+    (List.map
+       (fun r ->
+         let tot = r.f1_static_d + r.f1_static_n in
+         [ r.f1_name; Tables.int r.f1_static_d; Tables.int r.f1_static_n;
+           (if tot = 0 then "-"
+            else Tables.pct (float_of_int r.f1_static_d /. float_of_int tot));
+           Tables.pct r.f1_dyn_d_fraction ])
+       (fig1 scale))
+
+(* ---------------- Fig 2 ---------------- *)
+
+type fig2_row = {
+  f2_name : string;
+  f2_req_per_warp : load_class -> float;
+  f2_req_per_thread : load_class -> float;
+}
+
+let fig2 scale =
+  List.map
+    (fun app ->
+      let r = timing_result scale app in
+      {
+        f2_name = app.App.name;
+        f2_req_per_warp = Stats.requests_per_warp r.Runner.tr_stats;
+        f2_req_per_thread = Stats.requests_per_active_thread r.Runner.tr_stats;
+      })
+    all_apps
+
+let render_fig2 scale =
+  Tables.render
+    ~title:
+      "Fig 2: memory requests per warp and per active thread (N = \
+       non-deterministic, D = deterministic)"
+    ~header:[ "app"; "req/warp N"; "req/warp D"; "req/thread N"; "req/thread D" ]
+    (List.map
+       (fun r ->
+         [ r.f2_name;
+           Tables.f2 (r.f2_req_per_warp Nondeterministic);
+           Tables.f2 (r.f2_req_per_warp Deterministic);
+           Tables.f2 (r.f2_req_per_thread Nondeterministic);
+           Tables.f2 (r.f2_req_per_thread Deterministic) ])
+       (fig2 scale))
+
+(* ---------------- Fig 3 ---------------- *)
+
+let fig3 scale app =
+  let r = timing_result scale app in
+  Stats.l1_cycle_breakdown r.Runner.tr_stats
+
+let render_fig3 scale =
+  Tables.render
+    ~title:"Fig 3: breakdown of L1 data-cache access cycles"
+    ~header:
+      [ "app"; "hit"; "hit_resv"; "miss"; "fail_tags"; "fail_mshr";
+        "fail_icnt" ]
+    (List.map
+       (fun app ->
+         let b = fig3 scale app in
+         app.App.name :: List.map Tables.pct (Array.to_list b))
+       all_apps)
+
+(* ---------------- Fig 4 ---------------- *)
+
+let fig4 scale app =
+  let r = timing_result scale app in
+  let n_sms = r.Runner.tr_cfg.Config.n_sms in
+  ( Stats.unit_busy_fraction r.Runner.tr_stats ~n_sms Gsim.Exec.SP,
+    Stats.unit_busy_fraction r.Runner.tr_stats ~n_sms Gsim.Exec.SFU,
+    Stats.unit_busy_fraction r.Runner.tr_stats ~n_sms Gsim.Exec.LDST )
+
+let render_fig4 scale =
+  Tables.render
+    ~title:"Fig 4: busy fraction of each execution unit's first stage"
+    ~header:[ "app"; "SP"; "SFU"; "LD/ST" ]
+    (List.map
+       (fun app ->
+         let sp, sfu, ldst = fig4 scale app in
+         [ app.App.name; Tables.pct sp; Tables.pct sfu; Tables.pct ldst ])
+       all_apps)
+
+(* ---------------- Fig 5 ---------------- *)
+
+let fig5 scale app =
+  let r = timing_result scale app in
+  ( Stats.turnaround_breakdown r.Runner.tr_stats Nondeterministic,
+    Stats.turnaround_breakdown r.Runner.tr_stats Deterministic )
+
+let render_fig5 scale =
+  Tables.render
+    ~title:
+      "Fig 5: average load turnaround breakdown (cycles): unloaded latency \
+       + rsrv-fail by previous warps + rsrv-fail by current warp + wasted \
+       in L2/DRAM"
+    ~header:
+      [ "app"; "cls"; "unloaded"; "rsrv_prev"; "rsrv_cur"; "wasted"; "total" ]
+    (List.concat_map
+       (fun app ->
+         let n, d = fig5 scale app in
+         let row cls (u, p, c, w) =
+           [ app.App.name; cls; Tables.f1 u; Tables.f1 p; Tables.f1 c;
+             Tables.f1 w; Tables.f1 (u +. p +. c +. w) ]
+         in
+         [ row "N" n; row "D" d ])
+       all_apps)
+
+(* ---------------- Fig 6 / Fig 7 ---------------- *)
+
+(* Most informative load pc of a class: widest spread of
+   requests-per-warp buckets (the paper picked pcs whose request count
+   varies), tie-broken by executed warps. *)
+let hottest_pc stats cls =
+  let score (ps : Stats.pc_stats) =
+    (Hashtbl.length ps.Stats.ps_by_nreq, ps.Stats.ps_warps)
+  in
+  Hashtbl.fold
+    (fun _ (ps : Stats.pc_stats) best ->
+      if ps.Stats.ps_cls <> cls then best
+      else
+        match best with
+        | Some b when score b >= score ps -> best
+        | _ -> Some ps)
+    stats.Stats.per_pc None
+
+type fig6_series = {
+  f6_app : string;
+  f6_kernel : string;
+  f6_pc : int;
+  f6_cls : load_class;
+  f6_points : (int * float) list; (* nreq -> avg turnaround *)
+}
+
+let series_of_pc app (ps : Stats.pc_stats) =
+  {
+    f6_app = app.App.name;
+    f6_kernel = ps.Stats.ps_kernel;
+    f6_pc = ps.Stats.ps_pc;
+    f6_cls = ps.Stats.ps_cls;
+    f6_points =
+      Hashtbl.fold
+        (fun n (b : Stats.nreq_bucket) acc ->
+          ( n,
+            float_of_int b.Stats.nb_turnaround /. float_of_int (max 1 b.Stats.nb_count)
+          )
+          :: acc)
+        ps.Stats.ps_by_nreq []
+      |> List.sort compare;
+  }
+
+let fig6 scale =
+  List.concat_map
+    (fun name ->
+      let app = Suite.find name in
+      let r = timing_result scale app in
+      List.filter_map
+        (fun cls ->
+          Option.map (series_of_pc app) (hottest_pc r.Runner.tr_stats cls))
+        [ Nondeterministic; Deterministic ])
+    [ "bfs"; "sssp"; "spmv" ]
+
+let render_fig6 scale =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "Fig 6: load turnaround vs number of generated requests (selected load \
+     pcs from bfs, sssp, spmv)\n";
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s (%s pc=0x%x, %s): %s\n" s.f6_app s.f6_kernel
+           s.f6_pc
+           (short_class s.f6_cls)
+           (String.concat " "
+              (List.map
+                 (fun (n, t) -> Printf.sprintf "%d:%.0f" n t)
+                 s.f6_points)));
+      ())
+    (fig6 scale);
+  Buffer.contents buf
+
+type fig7_row = {
+  f7_nreq : int;
+  f7_count : int;
+  f7_common : float;
+  f7_gap_l1d : float;
+  f7_gap_icnt_l2 : float;
+  f7_gap_l2_icnt : float;
+}
+
+let fig7 scale =
+  let app = Suite.find "bfs" in
+  let r = timing_result scale app in
+  match hottest_pc r.Runner.tr_stats Nondeterministic with
+  | None -> ((" none", 0), [])
+  | Some ps ->
+      ( (ps.Stats.ps_kernel, ps.Stats.ps_pc),
+        Hashtbl.fold
+          (fun n (b : Stats.nreq_bucket) acc ->
+            let c = float_of_int (max 1 b.Stats.nb_count) in
+            {
+              f7_nreq = n;
+              f7_count = b.Stats.nb_count;
+              f7_common = float_of_int b.Stats.nb_common /. c;
+              f7_gap_l1d = float_of_int b.Stats.nb_gap_l1d /. c;
+              f7_gap_icnt_l2 = float_of_int b.Stats.nb_gap_icnt_l2 /. c;
+              f7_gap_l2_icnt = float_of_int b.Stats.nb_gap_l2_icnt /. c;
+            }
+            :: acc)
+          ps.Stats.ps_by_nreq []
+        |> List.sort compare )
+
+let render_fig7 scale =
+  let (kernel, pc), rows = fig7 scale in
+  Tables.render
+    ~title:
+      (Printf.sprintf
+         "Fig 7: turnaround breakdown vs #requests for the hottest \
+          non-deterministic load (%s pc=0x%x)"
+         kernel pc)
+    ~header:
+      [ "#req"; "samples"; "common"; "gap@L1D"; "gap@icnt-L2"; "gap@L2-icnt" ]
+    (List.map
+       (fun r ->
+         [ Tables.int r.f7_nreq; Tables.int r.f7_count; Tables.f1 r.f7_common;
+           Tables.f1 r.f7_gap_l1d; Tables.f1 r.f7_gap_icnt_l2;
+           Tables.f1 r.f7_gap_l2_icnt ])
+       rows)
+
+(* ---------------- Fig 8 ---------------- *)
+
+let fig8 scale app =
+  let r = timing_result scale app in
+  let s = r.Runner.tr_stats in
+  ( (Stats.l1_miss_ratio s Nondeterministic, Stats.l2_miss_ratio s Nondeterministic),
+    (Stats.l1_miss_ratio s Deterministic, Stats.l2_miss_ratio s Deterministic) )
+
+let render_fig8 scale =
+  Tables.render
+    ~title:"Fig 8: L1 and L2 miss ratios by load class"
+    ~header:[ "app"; "L1 N"; "L1 D"; "L2 N"; "L2 D" ]
+    (List.map
+       (fun app ->
+         let (l1n, l2n), (l1d, l2d) = fig8 scale app in
+         [ app.App.name; Tables.pct l1n; Tables.pct l1d; Tables.pct l2n;
+           Tables.pct l2d ])
+       all_apps)
+
+(* ---------------- Fig 9 ---------------- *)
+
+let fig9 scale app =
+  Gsim.Funcsim.shared_per_global (func_result scale app).Runner.fr_fs
+
+let render_fig9 scale =
+  Tables.render
+    ~title:"Fig 9: shared-memory loads per global-memory load"
+    ~header:[ "app"; "shared/global" ]
+    (List.map
+       (fun app -> [ app.App.name; Tables.f2 (fig9 scale app) ])
+       all_apps)
+
+(* ---------------- Fig 10 ---------------- *)
+
+let fig10 scale app =
+  let fs = (func_result scale app).Runner.fr_fs in
+  (Gsim.Funcsim.cold_miss_ratio fs, Gsim.Funcsim.avg_accesses_per_block fs)
+
+let render_fig10 scale =
+  Tables.render
+    ~title:"Fig 10: cold-miss ratio and average accesses per 128B block"
+    ~header:[ "app"; "cold miss"; "accesses/block" ]
+    (List.map
+       (fun app ->
+         let cold, avg = fig10 scale app in
+         [ app.App.name; Tables.pct cold; Tables.f1 avg ])
+       all_apps)
+
+(* ---------------- Fig 11 ---------------- *)
+
+let fig11 scale app = Gsim.Funcsim.sharing (func_result scale app).Runner.fr_fs
+
+let render_fig11 scale =
+  Tables.render
+    ~title:"Fig 11: data blocks shared by multiple CTAs"
+    ~header:
+      [ "app"; "shared-block ratio"; "shared-access ratio"; "avg CTAs/block" ]
+    (List.map
+       (fun app ->
+         let s = fig11 scale app in
+         [ app.App.name;
+           Tables.pct s.Gsim.Funcsim.sh_block_ratio;
+           Tables.pct s.Gsim.Funcsim.sh_access_ratio;
+           Tables.f1 s.Gsim.Funcsim.sh_avg_ctas ])
+       all_apps)
+
+(* ---------------- Fig 12 ---------------- *)
+
+let fig12 scale app =
+  Gsim.Funcsim.cta_distance_histogram (func_result scale app).Runner.fr_fs
+
+let render_fig12 scale =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "Fig 12: CTA-distance frequency for blocks shared by multiple CTAs \
+     (top 8 distances per app)\n";
+  List.iter
+    (fun cat ->
+      Buffer.add_string buf
+        (Printf.sprintf "-- %s --\n" (cat_name cat));
+      List.iter
+        (fun app ->
+          let hist = fig12 scale app in
+          let top =
+            List.sort (fun (_, a) (_, b) -> compare b a) hist |> fun l ->
+            List.filteri (fun i _ -> i < 8) l
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "%-6s %s\n" app.App.name
+               (String.concat " "
+                  (List.map
+                     (fun (d, f) -> Printf.sprintf "d%d:%.0f%%" d (100. *. f))
+                     top))))
+        (Suite.by_category cat))
+    [ App.Linear; App.Image; App.Graph ];
+  Buffer.contents buf
+
+(* ---------------- input-size sensitivity ---------------- *)
+
+(* Burtscher et al. (the paper's related work) found that irregularity
+   does not change drastically with input size; this experiment checks
+   the same for the classification-based metrics. *)
+type sensitivity_row = {
+  sn_app : string;
+  sn_scale : string;
+  sn_dyn_d_fraction : float;
+  sn_req_per_thread_n : float;
+}
+
+let sensitivity apps =
+  List.concat_map
+    (fun name ->
+      let app = Suite.find name in
+      List.map
+        (fun (scale, sname) ->
+          let r = func_result scale app in
+          let fs = r.Runner.fr_fs in
+          {
+            sn_app = name;
+            sn_scale = sname;
+            sn_dyn_d_fraction = Gsim.Funcsim.deterministic_fraction fs;
+            sn_req_per_thread_n =
+              Gsim.Funcsim.requests_per_active_thread fs Nondeterministic;
+          })
+        [ (App.Small, "small"); (App.Default, "default") ])
+    apps
+
+let render_sensitivity () =
+  Tables.render
+    ~title:
+      "Input-size sensitivity: the D/N mix and N coalescing barely move \
+       with dataset size (cf. Burtscher et al.)"
+    ~header:[ "app"; "scale"; "dynamic D frac"; "N req/thread" ]
+    (List.map
+       (fun r ->
+         [ r.sn_app; r.sn_scale; Tables.pct r.sn_dyn_d_fraction;
+           Tables.f2 r.sn_req_per_thread_n ])
+       (sensitivity [ "spmv"; "bfs"; "ccl"; "mis"; "srad" ]))
+
+(* ---------------- Section X ablations ---------------- *)
+
+type ablation_row = {
+  ab_app : string;
+  ab_variant : string;
+  ab_cycles : int;
+  ab_l1_miss_n : float;
+  ab_turnaround_n : float;
+  ab_fail_frac : float; (* fraction of L1 cycles lost to rsrv fails *)
+}
+
+let ablation_run scale app cfg variant =
+  let r = Runner.run_timing ~cfg app scale in
+  let s = r.Runner.tr_stats in
+  let b = Stats.l1_cycle_breakdown s in
+  {
+    ab_app = app.App.name;
+    ab_variant = variant;
+    ab_cycles = s.Stats.cycles;
+    ab_l1_miss_n = Stats.l1_miss_ratio s Nondeterministic;
+    ab_turnaround_n = Stats.avg_turnaround s Nondeterministic;
+    ab_fail_frac = b.(3) +. b.(4) +. b.(5);
+  }
+
+let render_ablation ~title rows =
+  Tables.render ~title
+    ~header:[ "app"; "variant"; "cycles"; "L1 miss N"; "turnaround N"; "rsrv-fail frac" ]
+    (List.map
+       (fun r ->
+         [ r.ab_app; r.ab_variant; Tables.int r.ab_cycles;
+           Tables.pct r.ab_l1_miss_n; Tables.f1 r.ab_turnaround_n;
+           Tables.pct r.ab_fail_frac ])
+       rows)
+
+let graph_apps () = Suite.by_category App.Graph
+
+let ablate_split scale =
+  List.concat_map
+    (fun app ->
+      List.map
+        (fun width ->
+          let cfg = { (timing_cfg ()) with Config.warp_split_width = width } in
+          ablation_run scale app cfg
+            (if width = 0 then "baseline" else Printf.sprintf "split%d" width))
+        [ 0; 8; 4 ])
+    (graph_apps ())
+
+let render_ablate_split scale =
+  render_ablation
+    ~title:
+      "Section X.A ablation: warp splitting for non-deterministic loads \
+       (graph applications)"
+    (ablate_split scale)
+
+let ablate_cta scale =
+  List.concat_map
+    (fun app ->
+      List.map
+        (fun (sched, name) ->
+          let cfg = { (timing_cfg ()) with Config.cta_sched = sched } in
+          ablation_run scale app cfg name)
+        [ (Config.Round_robin, "round-robin"); (Config.Clustered 2, "cluster2");
+          (Config.Clustered 4, "cluster4") ])
+    all_apps
+
+let render_ablate_cta scale =
+  render_ablation
+    ~title:"Section X.B ablation: CTA scheduling (round-robin vs clustered)"
+    (ablate_cta scale)
+
+let ablate_prefetch scale =
+  List.concat_map
+    (fun app ->
+      List.map
+        (fun (on, name) ->
+          let cfg = { (timing_cfg ()) with Config.prefetch_ndet = on } in
+          ablation_run scale app cfg name)
+        [ (false, "baseline"); (true, "prefetch-N") ])
+    (graph_apps () @ [ Suite.find "spmv" ])
+
+let render_ablate_prefetch scale =
+  render_ablation
+    ~title:
+      "Section X.A discussion: next-line prefetching applied only to \
+       non-deterministic loads (graph apps + spmv)"
+    (ablate_prefetch scale)
+
+let ablate_bypass scale =
+  List.concat_map
+    (fun app ->
+      List.map
+        (fun (on, name) ->
+          let cfg = { (timing_cfg ()) with Config.bypass_ndet = on } in
+          ablation_run scale app cfg name)
+        [ (false, "baseline"); (true, "bypass-N") ])
+    (graph_apps () @ [ Suite.find "spmv" ])
+
+let render_ablate_bypass scale =
+  render_ablation
+    ~title:
+      "Instruction-aware L1 bypass: non-deterministic loads skip the L1, \
+       leaving tags/MSHRs to deterministic traffic (graph apps + spmv)"
+    (ablate_bypass scale)
+
+let ablate_warpsched scale =
+  List.concat_map
+    (fun app ->
+      List.map
+        (fun (sched, name) ->
+          let cfg = { (timing_cfg ()) with Config.warp_sched = sched } in
+          ablation_run scale app cfg name)
+        [ (Config.Lrr, "lrr"); (Config.Gto, "gto") ])
+    all_apps
+
+let render_ablate_warpsched scale =
+  render_ablation
+    ~title:
+      "Warp scheduling: loose round-robin (paper-era default) vs \
+       greedy-then-oldest"
+    (ablate_warpsched scale)
+
+(* advisor-guided per-pc policies vs the global one-knob variants *)
+let ablate_advisor scale =
+  List.concat_map
+    (fun app ->
+      let advice = Advisor.advise_app app scale in
+      let guided =
+        { (timing_cfg ()) with Config.pc_policies = Advisor.policies advice }
+      in
+      [ ablation_run scale app (timing_cfg ()) "baseline";
+        ablation_run scale app guided "advisor" ])
+    (graph_apps () @ [ Suite.find "spmv" ])
+
+let render_ablate_advisor scale =
+  let advice_text =
+    let buf = Buffer.create 1024 in
+    List.iter
+      (fun app ->
+        Buffer.add_string buf
+          (Format.asprintf "%a" Advisor.pp_advice
+             (Advisor.advise_app app scale)))
+      (graph_apps () @ [ Suite.find "spmv" ]);
+    Buffer.contents buf
+  in
+  "Per-load advice (classification x stride x walk detection):\n"
+  ^ advice_text ^ "\n"
+  ^ render_ablation
+      ~title:
+        "Section X.A realized: advisor-guided per-instruction policies \
+         (prefetch walking N loads, split gathering N loads)"
+      (ablate_advisor scale)
+
+let ablate_l2 scale =
+  List.concat_map
+    (fun app ->
+      List.map
+        (fun (k, name) ->
+          let cfg = { (timing_cfg ()) with Config.l2_cluster = k } in
+          let r = Runner.run_timing ~cfg app scale in
+          let s = r.Runner.tr_stats in
+          ( app.App.name,
+            name,
+            s.Stats.cycles,
+            Stats.l2_miss_ratio s Nondeterministic,
+            Stats.avg_turnaround s Nondeterministic ))
+        [ (0, "global-L2"); (2, "cluster2"); (7, "cluster7") ])
+    all_apps
+
+let render_ablate_l2 scale =
+  Tables.render
+    ~title:"Section X.C ablation: semi-global L2 (SM clusters own L2 slices)"
+    ~header:[ "app"; "variant"; "cycles"; "L2 miss N"; "turnaround N" ]
+    (List.map
+       (fun (app, v, cycles, miss, turn) ->
+         [ app; v; Tables.int cycles; Tables.pct miss; Tables.f1 turn ])
+       (ablate_l2 scale))

@@ -1,0 +1,191 @@
+(** One function per paper table/figure: structured rows for tests plus
+    a text renderer for the bench harness.  EXPERIMENTS.md records the
+    shapes to compare against the paper. *)
+
+open Dataflow.Classify
+
+val func_cap : int
+(** Warp-instruction cap of the functional runs. *)
+
+val set_timing_cap : int -> unit
+(** Override the per-app warp-instruction cap of the timing runs (the
+    bench harness exposes this as [--cap]; default 120k). *)
+
+val timing_cfg :
+  ?cfg:Gsim.Config.t -> ?max_warp_insts:int -> unit -> Gsim.Config.t
+
+val all_apps : Workloads.App.t list
+
+val func_result :
+  ?check:bool -> Workloads.App.scale -> Workloads.App.t ->
+  Runner.func_result
+(** Cached functional run (several figures share them). *)
+
+val timing_result :
+  ?cfg:Gsim.Config.t -> Workloads.App.scale -> Workloads.App.t ->
+  Runner.timing_result
+(** Cached timing run (cache bypassed when [cfg] is supplied). *)
+
+(** {1 Table I — application characteristics} *)
+
+type table1_row = {
+  t1_name : string;
+  t1_category : string;
+  t1_ctas : int;
+  t1_threads_per_cta : int;
+  t1_total_insts : int;
+  t1_gld_insts : int;
+  t1_gld_fraction : float;
+}
+
+val table1 : Workloads.App.scale -> table1_row list
+val render_table1 : Workloads.App.scale -> string
+
+(** {1 Table II / III} *)
+
+val render_table2 : unit -> string
+val render_table3 : Workloads.App.scale -> string
+
+(** {1 Fig 1 — load classification} *)
+
+type fig1_row = {
+  f1_name : string;
+  f1_static_d : int;
+  f1_static_n : int;
+  f1_dyn_d_fraction : float;
+}
+
+val fig1 : Workloads.App.scale -> fig1_row list
+val render_fig1 : Workloads.App.scale -> string
+
+(** {1 Fig 2 — requests per warp / active thread} *)
+
+type fig2_row = {
+  f2_name : string;
+  f2_req_per_warp : load_class -> float;
+  f2_req_per_thread : load_class -> float;
+}
+
+val fig2 : Workloads.App.scale -> fig2_row list
+val render_fig2 : Workloads.App.scale -> string
+
+(** {1 Fig 3 / Fig 4} *)
+
+val fig3 : Workloads.App.scale -> Workloads.App.t -> float array
+(** L1 cycle-outcome fractions, indexed by [Stats.l1_event_index]. *)
+
+val render_fig3 : Workloads.App.scale -> string
+
+val fig4 : Workloads.App.scale -> Workloads.App.t -> float * float * float
+(** (SP, SFU, LD/ST) first-stage busy fractions. *)
+
+val render_fig4 : Workloads.App.scale -> string
+
+(** {1 Fig 5 — turnaround breakdown} *)
+
+val fig5 :
+  Workloads.App.scale ->
+  Workloads.App.t ->
+  (float * float * float * float) * (float * float * float * float)
+(** ((N breakdown), (D breakdown)) — each (unloaded, rsrv_prev,
+    rsrv_cur, wasted). *)
+
+val render_fig5 : Workloads.App.scale -> string
+
+(** {1 Fig 6 / Fig 7 — per-pc turnaround vs request count} *)
+
+type fig6_series = {
+  f6_app : string;
+  f6_kernel : string;
+  f6_pc : int;
+  f6_cls : load_class;
+  f6_points : (int * float) list;
+}
+
+val fig6 : Workloads.App.scale -> fig6_series list
+val render_fig6 : Workloads.App.scale -> string
+
+type fig7_row = {
+  f7_nreq : int;
+  f7_count : int;
+  f7_common : float;
+  f7_gap_l1d : float;
+  f7_gap_icnt_l2 : float;
+  f7_gap_l2_icnt : float;
+}
+
+val fig7 : Workloads.App.scale -> (string * int) * fig7_row list
+val render_fig7 : Workloads.App.scale -> string
+
+(** {1 Fig 8 — miss ratios} *)
+
+val fig8 :
+  Workloads.App.scale ->
+  Workloads.App.t ->
+  (float * float) * (float * float)
+(** ((L1 N, L2 N), (L1 D, L2 D)). *)
+
+val render_fig8 : Workloads.App.scale -> string
+
+(** {1 Figs 9-12 — functional-side metrics} *)
+
+val fig9 : Workloads.App.scale -> Workloads.App.t -> float
+val render_fig9 : Workloads.App.scale -> string
+val fig10 : Workloads.App.scale -> Workloads.App.t -> float * float
+val render_fig10 : Workloads.App.scale -> string
+val fig11 : Workloads.App.scale -> Workloads.App.t -> Gsim.Funcsim.sharing
+val render_fig11 : Workloads.App.scale -> string
+val fig12 : Workloads.App.scale -> Workloads.App.t -> (int * float) list
+val render_fig12 : Workloads.App.scale -> string
+
+(** {1 Input-size sensitivity} *)
+
+type sensitivity_row = {
+  sn_app : string;
+  sn_scale : string;
+  sn_dyn_d_fraction : float;
+  sn_req_per_thread_n : float;
+}
+
+val sensitivity : string list -> sensitivity_row list
+(** Classification metrics across dataset scales (cf. Burtscher et al.:
+    irregularity is largely input-size independent). *)
+
+val render_sensitivity : unit -> string
+
+(** {1 Section X ablations} *)
+
+type ablation_row = {
+  ab_app : string;
+  ab_variant : string;
+  ab_cycles : int;
+  ab_l1_miss_n : float;
+  ab_turnaround_n : float;
+  ab_fail_frac : float;
+}
+
+val ablation_run :
+  Workloads.App.scale -> Workloads.App.t -> Gsim.Config.t -> string ->
+  ablation_row
+
+val ablate_split : Workloads.App.scale -> ablation_row list
+val render_ablate_split : Workloads.App.scale -> string
+val ablate_cta : Workloads.App.scale -> ablation_row list
+val render_ablate_cta : Workloads.App.scale -> string
+
+val ablate_prefetch : Workloads.App.scale -> ablation_row list
+val render_ablate_prefetch : Workloads.App.scale -> string
+
+val ablate_advisor : Workloads.App.scale -> ablation_row list
+val render_ablate_advisor : Workloads.App.scale -> string
+
+val ablate_bypass : Workloads.App.scale -> ablation_row list
+val render_ablate_bypass : Workloads.App.scale -> string
+
+val ablate_warpsched : Workloads.App.scale -> ablation_row list
+val render_ablate_warpsched : Workloads.App.scale -> string
+
+val ablate_l2 :
+  Workloads.App.scale -> (string * string * int * float * float) list
+
+val render_ablate_l2 : Workloads.App.scale -> string

@@ -1,0 +1,50 @@
+(** Drives an application (a sequence of kernel launches) through the
+    functional or cycle simulator, accumulating statistics across
+    launches and collecting each kernel's static load classification. *)
+
+type func_result = {
+  fr_app : Workloads.App.t;
+  fr_fs : Gsim.Funcsim.t;
+  fr_launches : int;
+  fr_ctas : int;  (** total CTAs across launches *)
+  fr_threads_per_cta : int;  (** of the first launch *)
+  fr_static_d : int;  (** static deterministic global-load instructions *)
+  fr_static_n : int;
+  fr_check : bool;  (** host-reference verification (when requested) *)
+}
+
+type timing_result = {
+  tr_app : Workloads.App.t;
+  tr_stats : Gsim.Stats.t;
+  tr_launches : int;
+  tr_cfg : Gsim.Config.t;
+}
+
+val run_func :
+  ?cfg:Gsim.Config.t ->
+  ?max_warp_insts:int ->
+  ?check:bool ->
+  Workloads.App.t ->
+  Workloads.App.scale ->
+  func_result
+(** Functional run.  [check] (default true) verifies results against
+    the host reference when the run was not capped. *)
+
+val warmup_launches :
+  ?cfg:Gsim.Config.t -> Workloads.App.t -> Workloads.App.scale -> int
+(** Index of the first launch carrying substantial global-load traffic
+    (>= 25% of the busiest launch's), found by a functional pre-pass.
+    Iterative apps (bfs, sssp, ...) spend their first launches on tiny
+    frontiers; measuring only those would mischaracterize the steady
+    state the paper reports. *)
+
+val run_timing :
+  ?cfg:Gsim.Config.t ->
+  ?warmup:bool ->
+  Workloads.App.t ->
+  Workloads.App.scale ->
+  timing_result
+(** Cycle-level run.  With [warmup] (default true) the run
+    fast-forwards functionally to the first heavy launch — the memory
+    image is shared, so simulation resumes exactly there — and
+    cycle-simulates from that point until the configured caps. *)

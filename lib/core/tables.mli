@@ -1,0 +1,11 @@
+(** Plain-text table rendering for the experiment harness. *)
+
+val render : ?title:string -> header:string list -> string list list -> string
+(** Aligned columns with a header rule. *)
+
+val pct : float -> string
+(** [0.123] as ["12.3%"]. *)
+
+val f2 : float -> string
+val f1 : float -> string
+val int : int -> string

@@ -1,0 +1,201 @@
+(* The paper's load classifier (Section V).
+
+   A load is DETERMINISTIC when its effective address derives only from
+   parameterized data — thread/CTA ids, grid/block dimensions, kernel
+   parameters (ld.param) and immediates — all known at kernel launch.
+   It is NON-DETERMINISTIC when the address depends, transitively, on a
+   value read from memory by a prior load (ld.global/shared/local/tex,
+   or an atomic's return value).
+
+   Implementation: backward traversal of the data-dependence graph from
+   the definitions of the load's address registers.  Loads and ld.param
+   are traversal *leaves*: the classifier records what kind of leaf it
+   reached and does not look through them — the paper classifies a load
+   as non-deterministic as soon as its address flows from any prior
+   load, regardless of how that load's own address was formed. *)
+
+open Ptx.Types
+
+type load_class = Deterministic | Nondeterministic
+
+type leaf =
+  | Leaf_param (* ld.param *)
+  | Leaf_sreg (* tid/ctaid/ntid/nctaid/laneid/warpid *)
+  | Leaf_imm
+  | Leaf_load of space (* value loaded from this space *)
+  | Leaf_uninit (* register never written on some path *)
+
+type load_info = {
+  li_pc : int;
+  li_space : space;
+  li_class : load_class;
+  li_leaves : leaf list; (* distinct leaf kinds, sorted *)
+  li_slice_size : int; (* instructions in the address slice *)
+}
+
+type result = {
+  res_kernel : Ptx.Kernel.t;
+  res_loads : load_info list; (* every memory load, in program order *)
+  res_class_of_pc : (int, load_class) Hashtbl.t; (* global loads only *)
+}
+
+let string_of_class = function
+  | Deterministic -> "deterministic"
+  | Nondeterministic -> "non-deterministic"
+
+let short_class = function Deterministic -> "D" | Nondeterministic -> "N"
+
+let string_of_leaf = function
+  | Leaf_param -> "param"
+  | Leaf_sreg -> "sreg"
+  | Leaf_imm -> "imm"
+  | Leaf_load sp -> "ld." ^ string_of_space sp
+  | Leaf_uninit -> "uninit"
+
+(* Leaf kinds contributed directly by an instruction's non-register
+   operands. *)
+let direct_leaves instr =
+  let of_operand = function
+    | Sreg _ -> [ Leaf_sreg ]
+    | Imm _ | Fimm _ -> [ Leaf_imm ]
+    | Reg _ -> []
+  in
+  let of_addr (a : addr) = of_operand a.abase in
+  match (instr : Ptx.Instr.t) with
+  | Ld_param _ -> [ Leaf_param ]
+  | Ld (_, _, _, a) -> of_addr a
+  | St (_, _, a, v) -> of_addr a @ of_operand v
+  | Mov (_, s) -> of_operand s
+  | Iop (_, _, a, b) | Fop (_, _, _, a, b) | Setp (_, _, _, a, b) ->
+      of_operand a @ of_operand b
+  | Mad (_, a, b, c) | Fma (_, _, a, b, c) ->
+      of_operand a @ of_operand b @ of_operand c
+  | Funary (_, _, _, a) | Cvt (_, _, _, a) -> of_operand a
+  | Selp (_, a, b, _) -> of_operand a @ of_operand b
+  | Atom (_, _, _, a, v) -> of_addr a @ of_operand v
+  | Pnot _ | Pand _ | Por _ | Bra _ | Bar | Exit | Label _ -> []
+
+(* Traverse the dependence graph backwards from [roots]; collect leaf
+   kinds; stop at load leaves.  Returns (leaves, visited instruction
+   count). *)
+let collect_leaves (k : Ptx.Kernel.t) (dg : Depgraph.t) roots =
+  let npc = Array.length k.Ptx.Kernel.body in
+  let visited = Array.make npc false in
+  let leaves = ref [] in
+  let nvisited = ref 0 in
+  let push l = if not (List.mem l !leaves) then leaves := l :: !leaves in
+  let rec go pc =
+    if not visited.(pc) then begin
+      visited.(pc) <- true;
+      incr nvisited;
+      let instr = k.Ptx.Kernel.body.(pc) in
+      if Depgraph.has_uninitialized_use dg pc then push Leaf_uninit;
+      match Ptx.Instr.loads_from_memory instr with
+      | Some sp -> push (Leaf_load sp) (* leaf: do not look through *)
+      | None ->
+          List.iter push (direct_leaves instr);
+          List.iter go (Depgraph.deps dg pc)
+    end
+  in
+  List.iter go roots;
+  (List.sort compare !leaves, !nvisited)
+
+let class_of_leaves leaves =
+  if List.exists (function Leaf_load _ -> true | _ -> false) leaves then
+    Nondeterministic
+  else Deterministic
+
+(* The registers whose reaching definitions root the address slice of
+   the load at [pc]. *)
+let address_regs instr =
+  match (instr : Ptx.Instr.t) with
+  | Ld (_, _, _, a) | Atom (_, _, _, a, _) -> (
+      match a.abase with Reg r -> [ r ] | Imm _ | Fimm _ | Sreg _ -> [])
+  | _ -> []
+
+let address_leaf_operand instr =
+  match (instr : Ptx.Instr.t) with
+  | Ld (_, _, _, a) | Atom (_, _, _, a, _) -> (
+      match a.abase with
+      | Sreg _ -> [ Leaf_sreg ]
+      | Imm _ | Fimm _ -> [ Leaf_imm ]
+      | Reg _ -> [])
+  | _ -> []
+
+let classify_load k r dg pc =
+  let instr = k.Ptx.Kernel.body.(pc) in
+  let roots =
+    List.concat_map
+      (fun reg -> Reaching.defs_reaching_reg r ~pc ~reg)
+      (address_regs instr)
+  in
+  let uninit_root =
+    List.exists
+      (fun reg -> Reaching.defs_reaching_reg r ~pc ~reg = [])
+      (address_regs instr)
+  in
+  let leaves, slice = collect_leaves k dg roots in
+  let leaves = List.sort_uniq compare (leaves @ address_leaf_operand instr) in
+  let leaves = if uninit_root then Leaf_uninit :: leaves else leaves in
+  let space =
+    match Ptx.Instr.loads_from_memory instr with
+    | Some sp -> sp
+    | None -> invalid_arg "classify_load: pc is not a load"
+  in
+  {
+    li_pc = pc;
+    li_space = space;
+    li_class = class_of_leaves leaves;
+    li_leaves = leaves;
+    li_slice_size = slice;
+  }
+
+let classify (k : Ptx.Kernel.t) =
+  let cfg = Ptx.Cfg.build k in
+  let r = Reaching.compute k cfg in
+  let dg = Depgraph.build k r in
+  let loads = ref [] in
+  Array.iteri
+    (fun pc instr ->
+      match Ptx.Instr.loads_from_memory instr with
+      | Some _ -> loads := classify_load k r dg pc :: !loads
+      | None -> ())
+    k.Ptx.Kernel.body;
+  let loads = List.rev !loads in
+  let class_of_pc = Hashtbl.create 16 in
+  List.iter
+    (fun li ->
+      if Ptx.Instr.is_global_load k.Ptx.Kernel.body.(li.li_pc) then
+        Hashtbl.replace class_of_pc li.li_pc li.li_class)
+    loads;
+  { res_kernel = k; res_loads = loads; res_class_of_pc = class_of_pc }
+
+let class_of_global_load res pc = Hashtbl.find_opt res.res_class_of_pc pc
+
+let global_loads res =
+  List.filter
+    (fun li ->
+      Ptx.Instr.is_global_load res.res_kernel.Ptx.Kernel.body.(li.li_pc))
+    res.res_loads
+
+let count_global res =
+  let g = global_loads res in
+  let d =
+    List.length (List.filter (fun li -> li.li_class = Deterministic) g)
+  in
+  (d, List.length g - d)
+
+let pp_load_info ppf li =
+  Format.fprintf ppf "pc %4d  %-6s  %-17s  slice=%-3d  leaves={%s}" li.li_pc
+    (string_of_space li.li_space)
+    (string_of_class li.li_class)
+    li.li_slice_size
+    (String.concat "," (List.map string_of_leaf li.li_leaves))
+
+let pp_result ppf res =
+  Format.fprintf ppf "kernel %s: %d loads (%d global)@\n"
+    res.res_kernel.Ptx.Kernel.kname
+    (List.length res.res_loads)
+    (List.length (global_loads res));
+  List.iter (fun li -> Format.fprintf ppf "  %a@\n" pp_load_info li)
+    res.res_loads

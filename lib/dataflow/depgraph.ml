@@ -1,0 +1,83 @@
+(* Data-dependence graph at instruction granularity: an edge pc -> d
+   means instruction [pc] uses a register (general or predicate) whose
+   reaching definition is instruction [d]. *)
+
+type t = {
+  kernel : Ptx.Kernel.t;
+  deps : int list array; (* pc -> defining pcs *)
+  uninit_uses : bool array; (* pc uses a register with no reaching def *)
+}
+
+let build (k : Ptx.Kernel.t) (r : Reaching.t) =
+  let npc = Array.length k.Ptx.Kernel.body in
+  let deps = Array.make npc [] in
+  let uninit_uses = Array.make npc false in
+  Array.iteri
+    (fun pc instr ->
+      let add_node node =
+        match Reaching.defs_reaching_node r ~pc ~node with
+        | [] -> uninit_uses.(pc) <- true
+        | ds -> deps.(pc) <- List.rev_append ds deps.(pc)
+      in
+      List.iter (fun reg -> add_node (Reaching.node_of_reg reg))
+        (Ptx.Instr.uses instr);
+      List.iter
+        (fun p -> add_node (Reaching.node_of_pred ~nregs:r.Reaching.nregs p))
+        (Ptx.Instr.puses instr);
+      deps.(pc) <- List.sort_uniq compare deps.(pc))
+    k.Ptx.Kernel.body;
+  { kernel = k; deps; uninit_uses }
+
+let deps t pc = t.deps.(pc)
+let has_uninitialized_use t pc = t.uninit_uses.(pc)
+
+(* Graphviz rendering of the dependence graph; loads are highlighted
+   since they are the classifier's taint sources. *)
+let to_dot t =
+  let k = t.kernel in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "digraph \"%s-deps\" {\n  node [shape=box, fontname=monospace];\n"
+       k.Ptx.Kernel.kname);
+  Array.iteri
+    (fun pc instr ->
+      let label =
+        String.concat ""
+          (String.split_on_char '"' (Ptx.Instr.to_string instr))
+      in
+      let attrs =
+        match Ptx.Instr.loads_from_memory instr with
+        | Some _ -> ", style=filled, fillcolor=lightcoral"
+        | None -> ""
+      in
+      if t.deps.(pc) <> [] || Ptx.Instr.defs instr <> [] then
+        Buffer.add_string buf
+          (Printf.sprintf "  I%d [label=\"%d: %s\"%s];\n" pc pc label attrs))
+    k.Ptx.Kernel.body;
+  Array.iteri
+    (fun pc ds ->
+      List.iter
+        (fun d -> Buffer.add_string buf (Printf.sprintf "  I%d -> I%d;\n" pc d))
+        ds)
+    t.deps;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+(* Full backward slice (pcs) from the given starting definitions,
+   traversing through loads. *)
+let backward_slice t start_pcs =
+  let npc = Array.length t.deps in
+  let visited = Array.make npc false in
+  let rec go pc =
+    if not visited.(pc) then begin
+      visited.(pc) <- true;
+      List.iter go t.deps.(pc)
+    end
+  in
+  List.iter go start_pcs;
+  let acc = ref [] in
+  for pc = npc - 1 downto 0 do
+    if visited.(pc) then acc := pc :: !acc
+  done;
+  !acc

@@ -1,0 +1,24 @@
+(** Data-dependence graph at instruction granularity: an edge [pc -> d]
+    means instruction [pc] uses a register whose reaching definition is
+    instruction [d]. *)
+
+type t
+
+val build : Ptx.Kernel.t -> Reaching.t -> t
+
+val deps : t -> int -> int list
+(** Defining pcs of the registers the instruction at [pc] uses. *)
+
+val has_uninitialized_use : t -> int -> bool
+(** True when the instruction uses a register with no reaching
+    definition (reads a register never written on some path). *)
+
+val to_dot : t -> string
+(** Graphviz rendering of the dependence graph; load nodes (the
+    classifier's taint sources) are highlighted. *)
+
+val backward_slice : t -> int list -> int list
+(** All pcs transitively reachable through dependence edges from the
+    given starting pcs (inclusive), in program order.  Traverses
+    through loads — this is the full slice, unlike the classifier,
+    which stops at load leaves. *)

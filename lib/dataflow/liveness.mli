@@ -1,0 +1,17 @@
+(** Backward liveness of register nodes (general + predicate).
+
+    Complements reaching definitions and supports register-pressure
+    style analyses (e.g. the spare-register prefetching the paper's
+    Section X discusses). *)
+
+type t
+
+val compute : Ptx.Kernel.t -> Ptx.Cfg.t -> t
+val live_in_reg : t -> pc:int -> reg:int -> bool
+val live_in_pred : t -> pc:int -> pred:int -> bool
+
+val live_nodes_at : t -> int -> int list
+(** Live register nodes (general [r], predicate [nregs+p]) entering pc. *)
+
+val max_pressure : t -> int
+(** Maximum number of simultaneously live general registers. *)

@@ -1,0 +1,185 @@
+(* Set-associative cache with reserved (in-flight) lines and an
+   integrated MSHR table — the GPGPU-Sim L1/L2 model the paper's
+   Section VI describes.
+
+   A load access has one of six outcomes:
+     Hit            line valid
+     Hit_reserved   line in flight, merged into the existing MSHR entry
+     Miss           a line was reserved, an MSHR allocated, and the
+                    request may be forwarded down the hierarchy
+     Rsrv_fail Fail_tags   every candidate line in the set is reserved
+     Rsrv_fail Fail_mshr   no MSHR entry free / merge capacity exhausted
+     Rsrv_fail Fail_icnt   no downstream buffer slot (checked by caller,
+                    passed in as [icnt_ok])
+
+   On a reservation failure the access retries in a later cycle; the
+   wasted cache cycles are what Fig 3 plots. *)
+
+type fail_reason = Fail_tags | Fail_mshr | Fail_icnt
+
+type outcome = Hit | Hit_reserved | Miss | Rsrv_fail of fail_reason
+
+type line_state = Invalid | Valid | Reserved
+
+type line = {
+  mutable tag : int;
+  mutable state : line_state;
+  mutable last_use : int;
+}
+
+type mshr_entry = { mutable waiters : Request.t list; mutable merged : int }
+
+type t = {
+  sets : int;
+  ways : int;
+  line_size : int;
+  lines : line array array; (* [set].[way] *)
+  mshr : (int, mshr_entry) Hashtbl.t; (* line_addr -> entry *)
+  mshr_entries : int;
+  mshr_max_merge : int;
+  mutable time : int; (* LRU clock *)
+}
+
+let create ~sets ~ways ~line_size ~mshr_entries ~mshr_max_merge =
+  {
+    sets;
+    ways;
+    line_size;
+    lines =
+      Array.init sets (fun _ ->
+          Array.init ways (fun _ ->
+              { tag = -1; state = Invalid; last_use = 0 }));
+    mshr = Hashtbl.create (2 * mshr_entries);
+    mshr_entries;
+    mshr_max_merge;
+    time = 0;
+  }
+
+let line_addr t addr = addr / t.line_size * t.line_size
+
+let set_index t line_addr = line_addr / t.line_size mod t.sets
+
+let find_line t la =
+  let set = t.lines.(set_index t la) in
+  let rec go w =
+    if w >= t.ways then None
+    else if set.(w).tag = la && set.(w).state <> Invalid then Some set.(w)
+    else go (w + 1)
+  in
+  go 0
+
+(* Victim selection: an invalid way first, else the LRU non-reserved
+   way.  None when every way is reserved (tag reservation failure). *)
+let find_victim t la =
+  let set = t.lines.(set_index t la) in
+  let invalid = Array.fold_left
+      (fun acc l -> match acc with
+         | Some _ -> acc
+         | None -> if l.state = Invalid then Some l else None)
+      None set
+  in
+  match invalid with
+  | Some l -> Some l
+  | None ->
+      Array.fold_left
+        (fun acc l ->
+          if l.state = Reserved then acc
+          else
+            match acc with
+            | Some best when best.last_use <= l.last_use -> acc
+            | _ -> Some l)
+        None set
+
+let mshr_full t = Hashtbl.length t.mshr >= t.mshr_entries
+
+(* Access for a load request.  [icnt_ok] tells whether a miss could be
+   forwarded downstream this cycle. *)
+let access_load t ~(req : Request.t) ~icnt_ok =
+  t.time <- t.time + 1;
+  let la = req.Request.line_addr in
+  match find_line t la with
+  | Some l when l.state = Valid ->
+      l.last_use <- t.time;
+      Hit
+  | Some _ -> (
+      (* line is in flight: try to merge into its MSHR entry *)
+      match Hashtbl.find_opt t.mshr la with
+      | Some e when e.merged < t.mshr_max_merge ->
+          e.waiters <- req :: e.waiters;
+          e.merged <- e.merged + 1;
+          Hit_reserved
+      | Some _ -> Rsrv_fail Fail_mshr
+      | None ->
+          (* reserved by a store allocation with no MSHR: treat as merge
+             space exhausted *)
+          Rsrv_fail Fail_mshr)
+  | None -> (
+      match find_victim t la with
+      | None -> Rsrv_fail Fail_tags
+      | Some victim ->
+          if mshr_full t then Rsrv_fail Fail_mshr
+          else if not icnt_ok then Rsrv_fail Fail_icnt
+          else begin
+            victim.tag <- la;
+            victim.state <- Reserved;
+            victim.last_use <- t.time;
+            Hashtbl.replace t.mshr la { waiters = [ req ]; merged = 1 };
+            Miss
+          end)
+
+(* A fill returning from the lower level: validate the line and release
+   the waiting requests. *)
+let fill t ~line_addr =
+  (match find_line t line_addr with
+  | Some l when l.state = Reserved -> l.state <- Valid
+  | Some _ | None -> ());
+  match Hashtbl.find_opt t.mshr line_addr with
+  | Some e ->
+      Hashtbl.remove t.mshr line_addr;
+      List.rev e.waiters
+  | None -> []
+
+(* Probe without side effects (used by write handling and tests). *)
+let probe t ~line_addr =
+  match find_line t line_addr with
+  | Some l when l.state = Valid -> `Valid
+  | Some _ -> `Reserved
+  | None -> `Absent
+
+(* Write-evict for L1 global stores (Fermi L1 is write-through
+   no-allocate): drop the line if present and valid. *)
+let invalidate t ~line_addr =
+  match find_line t line_addr with
+  | Some l when l.state = Valid ->
+      l.state <- Invalid;
+      l.tag <- -1
+  | Some _ | None -> ()
+
+(* Write-allocate update for L2 stores: mark/refresh the line valid.
+   Returns false when allocation is impossible this cycle (all ways
+   reserved). *)
+let write_allocate t ~line_addr =
+  t.time <- t.time + 1;
+  match find_line t line_addr with
+  | Some l ->
+      if l.state = Valid then l.last_use <- t.time;
+      true
+  | None -> (
+      match find_victim t line_addr with
+      | None -> false
+      | Some victim ->
+          victim.tag <- line_addr;
+          victim.state <- Valid;
+          victim.last_use <- t.time;
+          true)
+
+let occupancy t =
+  let valid = ref 0 and reserved = ref 0 in
+  Array.iter
+    (Array.iter (fun l ->
+         match l.state with
+         | Valid -> incr valid
+         | Reserved -> incr reserved
+         | Invalid -> ()))
+    t.lines;
+  (!valid, !reserved)

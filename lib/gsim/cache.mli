@@ -1,0 +1,47 @@
+(** Set-associative cache with reserved (in-flight) lines and an
+    integrated MSHR table — the GPGPU-Sim L1/L2 model the paper's
+    Section VI describes.
+
+    A load access has one of six outcomes; the three reservation
+    failures (tags / MSHRs / interconnect) are the wasted cycles the
+    paper's Fig 3 plots. *)
+
+type fail_reason = Fail_tags | Fail_mshr | Fail_icnt
+type outcome = Hit | Hit_reserved | Miss | Rsrv_fail of fail_reason
+
+type t
+
+val create :
+  sets:int ->
+  ways:int ->
+  line_size:int ->
+  mshr_entries:int ->
+  mshr_max_merge:int ->
+  t
+
+val line_addr : t -> int -> int
+(** Align a byte address down to its cache line. *)
+
+val access_load : t -> req:Request.t -> icnt_ok:bool -> outcome
+(** Probe for a load request.  On [Miss] the line is reserved, an MSHR
+    entry allocated (with [req] as first waiter), and the caller must
+    forward the request downstream ([icnt_ok] asserts it can).  On
+    [Hit_reserved] the request was merged into the in-flight entry.
+    Reservation failures leave no state behind. *)
+
+val fill : t -> line_addr:int -> Request.t list
+(** A fill returning from below: the line becomes valid; returns the
+    waiting requests (first element is the original miss). *)
+
+val probe : t -> line_addr:int -> [ `Valid | `Reserved | `Absent ]
+(** Side-effect-free lookup. *)
+
+val invalidate : t -> line_addr:int -> unit
+(** Write-evict for L1 global stores (write-through no-allocate). *)
+
+val write_allocate : t -> line_addr:int -> bool
+(** Write-allocate update for L2 stores; false when every way of the
+    set is reserved this cycle. *)
+
+val occupancy : t -> int * int
+(** (valid lines, reserved lines). *)

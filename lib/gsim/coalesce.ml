@@ -1,0 +1,41 @@
+(* The memory-access coalescer.  Sits in front of the L1 (as in the
+   paper's Section VI): the lane addresses of one warp memory
+   instruction are grouped into distinct cache-line requests.  A fully
+   coalesced warp load touches one line; a worst-case gather touches
+   one line per active lane. *)
+
+(* Distinct line addresses touched by the access, in first-lane order. *)
+let lines ~line_size ~mask ~addrs =
+  let seen = Hashtbl.create 8 in
+  let out = ref [] in
+  Warp.iter_active mask (fun lane ->
+      let la = addrs.(lane) / line_size * line_size in
+      if not (Hashtbl.mem seen la) then begin
+        Hashtbl.add seen la ();
+        out := la :: !out
+      end);
+  List.rev !out
+
+let count ~line_size ~mask ~addrs =
+  List.length (lines ~line_size ~mask ~addrs)
+
+(* Split the lane mask into sub-warps of [width] lanes each — the
+   Section X.A warp-splitting ablation.  Returns the per-sub-warp line
+   lists, dropping empty sub-warps. *)
+let split_lines ~line_size ~width ~mask ~addrs =
+  if width <= 0 then [ lines ~line_size ~mask ~addrs ]
+  else begin
+    let groups = ref [] in
+    let lane = ref 0 in
+    let nlanes = Array.length addrs in
+    while !lane < nlanes do
+      let gmask = ref 0 in
+      for l = !lane to min (nlanes - 1) (!lane + width - 1) do
+        if mask land (1 lsl l) <> 0 then gmask := !gmask lor (1 lsl l)
+      done;
+      if !gmask <> 0 then
+        groups := lines ~line_size ~mask:!gmask ~addrs :: !groups;
+      lane := !lane + width
+    done;
+    List.rev !groups
+  end

@@ -1,0 +1,170 @@
+(* Simulator configuration.  Defaults follow Table II of the paper
+   (GPGPU-Sim v3.2.2, NVIDIA Tesla C2050 configuration): 14 SMs at
+   1.15 GHz, 32-wide SIMT, 16KB/128B-line/4-way L1D with 64 MSHRs,
+   768KB 8-way unified L2 with 32 MSHRs per partition, ROP (L2) latency
+   120 cycles, DRAM latency 100 cycles. *)
+
+type cta_sched_policy =
+  | Round_robin (* CTA i -> SM (i mod n_sms), the hardware default *)
+  | Clustered of int
+      (* groups of k consecutive CTAs go to the same SM — the Section
+         X.B proposal exploiting neighbour-CTA data locality *)
+
+(* Per-load-pc policy override: the paper's Section X.A suggestion of
+   "instruction-feature-aware mechanisms that can be selectively
+   applied to load instructions".  When a (kernel, pc) has an entry,
+   it replaces the class-wide warp_split / prefetch / bypass flags for
+   that instruction. *)
+type load_policy = {
+  lp_split : int; (* sub-warp width, 0 = no split *)
+  lp_prefetch : bool; (* next-line prefetch on miss *)
+  lp_bypass : bool; (* skip the L1 *)
+}
+
+let no_policy = { lp_split = 0; lp_prefetch = false; lp_bypass = false }
+
+(* Warp issue policy within an SM. *)
+type warp_sched_policy =
+  | Lrr (* loose round robin, the paper-era GPGPU-Sim default *)
+  | Gto (* greedy-then-oldest: stay on one warp until it stalls *)
+
+type t = {
+  n_sms : int;
+  warp_size : int;
+  max_threads_per_sm : int;
+  max_ctas_per_sm : int;
+  shared_mem_per_sm : int;
+  (* L1 data cache *)
+  l1_sets : int;
+  l1_ways : int;
+  line_size : int;
+  l1_mshr_entries : int;
+  l1_mshr_max_merge : int;
+  l1_hit_latency : int;
+  (* L2 *)
+  n_mem_partitions : int;
+  l2_sets : int; (* per partition *)
+  l2_ways : int;
+  l2_mshr_entries : int;
+  l2_latency : int; (* ROP latency *)
+  (* interconnect *)
+  icnt_latency : int;
+  icnt_buffer_size : int; (* per SM injection buffer (requests) *)
+  l2_input_queue_size : int; (* per partition *)
+  (* DRAM *)
+  dram_latency : int;
+  dram_interval : int; (* min cycles between DRAM data bursts *)
+  dram_queue_size : int;
+  (* execution latencies *)
+  sp_latency : int;
+  sfu_latency : int;
+  sfu_initiation : int; (* SFU first-stage busy cycles per warp op *)
+  shared_latency : int;
+  shared_banks : int; (* bank-conflict serialization, 0 disables *)
+  (* simulation control *)
+  max_warp_insts : int; (* stop after this many issued warp instrs; 0 = no cap *)
+  max_cycles : int;
+  cta_sched : cta_sched_policy;
+  warp_sched : warp_sched_policy;
+  (* Section X.A ablation: split each non-deterministic load into
+     sub-warps of this many lanes (0 = off), throttling the burst of
+     simultaneous L1 reservations a single warp can demand *)
+  warp_split_width : int;
+  (* Section X.C ablation: SMs grouped into clusters of this size, each
+     cluster owning a private slice of L2 (0 = global L2).  Modelled by
+     scaling each partition's capacity by cluster/n_sms and routing a
+     cluster's traffic to its own partition set. *)
+  l2_cluster : int;
+  (* Section X.A discussion ([16]): instruction-aware next-line
+     prefetching applied only to non-deterministic loads.  On an L1
+     miss of an N load, the following line is also requested when tags,
+     MSHRs and interconnect credits are free. *)
+  prefetch_ndet : bool;
+  (* Instruction-aware L1 bypass: non-deterministic loads skip the L1
+     entirely (requests go straight to L2), leaving the scarce tags and
+     MSHRs to the coalesced deterministic traffic. *)
+  bypass_ndet : bool;
+  (* per-(kernel, pc) policy overrides, e.g. from Critload.Advisor *)
+  pc_policies : ((string * int) * load_policy) list;
+}
+
+(* Tesla C2050 / Table II defaults. *)
+let default =
+  {
+    n_sms = 14;
+    warp_size = 32;
+    max_threads_per_sm = 1536;
+    max_ctas_per_sm = 8;
+    shared_mem_per_sm = 48 * 1024;
+    l1_sets = 32;
+    (* 16KB / 128B / 4-way *)
+    l1_ways = 4;
+    line_size = 128;
+    l1_mshr_entries = 64;
+    l1_mshr_max_merge = 8;
+    l1_hit_latency = 28;
+    n_mem_partitions = 6;
+    l2_sets = 128;
+    (* 768KB / 6 partitions / 128B / 8-way = 128 sets *)
+    l2_ways = 8;
+    l2_mshr_entries = 32;
+    l2_latency = 120;
+    icnt_latency = 8;
+    icnt_buffer_size = 64;
+    l2_input_queue_size = 32;
+    dram_latency = 100;
+    dram_interval = 4;
+    dram_queue_size = 32;
+    sp_latency = 4;
+    sfu_latency = 16;
+    sfu_initiation = 8;
+    shared_latency = 24;
+    shared_banks = 32;
+    max_warp_insts = 300_000;
+    max_cycles = 3_000_000;
+    cta_sched = Round_robin;
+    warp_sched = Lrr;
+    warp_split_width = 0;
+    l2_cluster = 0;
+    prefetch_ndet = false;
+    bypass_ndet = false;
+    pc_policies = [];
+  }
+
+(* Latency of a load that misses everywhere, with empty queues: request
+   over icnt, L2 access, DRAM, and the return trip.  The L1 probe that
+   detects the miss is a single cycle in this model, accounted in the
+   acceptance timestamps rather than here. *)
+let unloaded_dram_latency c =
+  c.icnt_latency + c.l2_latency + c.dram_latency + c.icnt_latency
+
+let unloaded_l2_latency c = c.icnt_latency + c.l2_latency + c.icnt_latency
+
+let max_warps_per_cta c threads_per_cta =
+  (threads_per_cta + c.warp_size - 1) / c.warp_size
+
+(* How many CTAs of [threads_per_cta] threads and [smem] bytes of static
+   shared memory fit on one SM. *)
+let ctas_per_sm c ~threads_per_cta ~smem_bytes =
+  let by_threads =
+    if threads_per_cta = 0 then c.max_ctas_per_sm
+    else c.max_threads_per_sm / threads_per_cta
+  in
+  let by_smem =
+    if smem_bytes = 0 then c.max_ctas_per_sm
+    else c.shared_mem_per_sm / smem_bytes
+  in
+  max 1 (min c.max_ctas_per_sm (min by_threads by_smem))
+
+let pp ppf c =
+  Format.fprintf ppf
+    "@[<v>Core: %d SMs, %d-wide SIMT, %d threads/SM max@,\
+     L1D: %dKB, %dB line, %d-way, %d MSHR entries@,\
+     L2: unified %dKB, %d partitions, %d-way, %d MSHR entries@,\
+     Latencies: L1 %d, ROP %d, DRAM %d, icnt %d@]"
+    c.n_sms c.warp_size c.max_threads_per_sm
+    (c.l1_sets * c.l1_ways * c.line_size / 1024)
+    c.line_size c.l1_ways c.l1_mshr_entries
+    (c.l2_sets * c.l2_ways * c.line_size * c.n_mem_partitions / 1024)
+    c.n_mem_partitions c.l2_ways c.l2_mshr_entries c.l1_hit_latency
+    c.l2_latency c.dram_latency c.icnt_latency

@@ -1,0 +1,91 @@
+(** Simulator configuration.  Defaults follow the paper's Table II
+    (GPGPU-Sim v3.2.2, NVIDIA Tesla C2050): 14 SMs, 32-wide SIMT,
+    16KB/128B/4-way L1D with 64 MSHRs, 768KB 8-way L2, ROP latency 120,
+    DRAM latency 100. *)
+
+(** CTA-to-SM assignment policy (paper Section X.B). *)
+type cta_sched_policy =
+  | Round_robin  (** hardware default: CTAs round-robin over SMs *)
+  | Clustered of int
+      (** groups of [k] consecutive CTAs on the same SM, exploiting
+          neighbour-CTA locality in the private L1 *)
+
+(** Per-load-pc policy override — the paper's Section X.A
+    "instruction-feature-aware mechanisms selectively applied to load
+    instructions".  An entry replaces the class-wide
+    warp-split/prefetch/bypass flags for that instruction. *)
+type load_policy = {
+  lp_split : int;  (** sub-warp width, 0 = no split *)
+  lp_prefetch : bool;
+  lp_bypass : bool;
+}
+
+val no_policy : load_policy
+
+(** Warp issue policy within an SM. *)
+type warp_sched_policy =
+  | Lrr  (** loose round robin, the paper-era GPGPU-Sim default *)
+  | Gto  (** greedy-then-oldest: stay on one warp until it stalls *)
+
+type t = {
+  n_sms : int;
+  warp_size : int;
+  max_threads_per_sm : int;
+  max_ctas_per_sm : int;
+  shared_mem_per_sm : int;
+  l1_sets : int;
+  l1_ways : int;
+  line_size : int;
+  l1_mshr_entries : int;
+  l1_mshr_max_merge : int;
+  l1_hit_latency : int;
+  n_mem_partitions : int;
+  l2_sets : int;  (** per partition *)
+  l2_ways : int;
+  l2_mshr_entries : int;
+  l2_latency : int;  (** ROP latency *)
+  icnt_latency : int;
+  icnt_buffer_size : int;  (** per-SM injection credits *)
+  l2_input_queue_size : int;
+  dram_latency : int;
+  dram_interval : int;  (** min cycles between DRAM bursts *)
+  dram_queue_size : int;
+  sp_latency : int;
+  sfu_latency : int;
+  sfu_initiation : int;
+  shared_latency : int;
+  shared_banks : int;  (** 4-byte banks; conflicts serialize; 0 = off *)
+  max_warp_insts : int;  (** stop after this many issued warp instrs; 0 = off *)
+  max_cycles : int;
+  cta_sched : cta_sched_policy;
+  warp_sched : warp_sched_policy;
+  warp_split_width : int;
+      (** Section X.A ablation: issue non-deterministic loads in
+          sub-warps of this many lanes (0 = off) *)
+  l2_cluster : int;
+      (** Section X.C ablation: SM-cluster size owning a private L2
+          slice (0 = globally shared L2) *)
+  prefetch_ndet : bool;
+      (** Section X.A discussion: next-line prefetch applied only to
+          non-deterministic loads *)
+  bypass_ndet : bool;
+      (** instruction-aware L1 bypass: non-deterministic loads skip the
+          L1, keeping tags/MSHRs for deterministic traffic *)
+  pc_policies : ((string * int) * load_policy) list;
+      (** per-(kernel, pc) overrides, e.g. from [Critload.Advisor] *)
+}
+
+val default : t
+
+val unloaded_dram_latency : t -> int
+(** Contention-free latency of a load serviced by DRAM. *)
+
+val unloaded_l2_latency : t -> int
+(** Contention-free latency of a load serviced by the L2. *)
+
+val max_warps_per_cta : t -> int -> int
+
+val ctas_per_sm : t -> threads_per_cta:int -> smem_bytes:int -> int
+(** Concurrent CTAs per SM given the thread and shared-memory limits. *)
+
+val pp : Format.formatter -> t -> unit

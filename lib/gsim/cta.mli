@@ -1,0 +1,15 @@
+(** CTA instantiation: the warps of one thread block, its shared
+    memory, and the memory interface its threads use.  Local memory is
+    a per-CTA scratch buffer; const/tex read the global image (their
+    caches are not modelled). *)
+
+type t = {
+  cta_lin : int;
+  warps : Warp.t array;
+  shared : Mem.t;
+  launch : Launch.t;
+}
+
+val create : Launch.t -> warp_size:int -> cta_lin:int -> t
+val n_warps : t -> int
+val all_finished : t -> bool

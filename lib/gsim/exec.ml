@@ -1,0 +1,194 @@
+(* Functional semantics of one thread executing one instruction.
+
+   Registers are 64-bit; floating values are stored as IEEE-754 bit
+   patterns (widened to double bits in registers, rounded through 32
+   bits for F32 memory traffic).  Integer division by zero yields 0, as
+   a total stand-in for the undefined PTX behaviour. *)
+
+open Ptx.Types
+
+type thread = {
+  regs : int64 array;
+  preds : bool array;
+  tid : int * int * int;
+  lane : int;
+}
+
+(* Per-warp execution environment (identical for all lanes). *)
+type env = {
+  ctaid : int * int * int;
+  ntid : int * int * int;
+  nctaid : int * int * int;
+  warp_in_cta : int;
+}
+
+let dim_of (x, y, z) = function X -> x | Y -> y | Z -> z
+
+let eval_sreg env th = function
+  | Tid d -> Int64.of_int (dim_of th.tid d)
+  | Ntid d -> Int64.of_int (dim_of env.ntid d)
+  | Ctaid d -> Int64.of_int (dim_of env.ctaid d)
+  | Nctaid d -> Int64.of_int (dim_of env.nctaid d)
+  | Laneid -> Int64.of_int th.lane
+  | Warpid -> Int64.of_int env.warp_in_cta
+
+let eval_operand env th = function
+  | Reg r -> th.regs.(r)
+  | Imm i -> i
+  | Fimm f -> Int64.bits_of_float f
+  | Sreg s -> eval_sreg env th s
+
+let eval_addr env th (a : addr) =
+  Int64.to_int (eval_operand env th a.abase) + a.aoffset
+
+(* High 64 bits of the signed 64x64 product, via 32-bit halves. *)
+let mulhi64 a b =
+  let mask = 0xFFFFFFFFL in
+  let al = Int64.logand a mask and ah = Int64.shift_right a 32 in
+  let bl = Int64.logand b mask and bh = Int64.shift_right b 32 in
+  let ll = Int64.mul al bl in
+  let lh = Int64.mul al bh in
+  let hl = Int64.mul ah bl in
+  let hh = Int64.mul ah bh in
+  let mid = Int64.add (Int64.add lh hl) (Int64.shift_right_logical ll 32) in
+  Int64.add hh (Int64.shift_right mid 32)
+
+let exec_iop op a b =
+  match op with
+  | Add -> Int64.add a b
+  | Sub -> Int64.sub a b
+  | Mul -> Int64.mul a b
+  | Mulhi -> mulhi64 a b
+  | Div -> if b = 0L then 0L else Int64.div a b
+  | Rem -> if b = 0L then 0L else Int64.rem a b
+  | Min -> if Int64.compare a b <= 0 then a else b
+  | Max -> if Int64.compare a b >= 0 then a else b
+  | Band -> Int64.logand a b
+  | Bor -> Int64.logor a b
+  | Bxor -> Int64.logxor a b
+  | Shl -> Int64.shift_left a (Int64.to_int b land 63)
+  | Shr -> Int64.shift_right_logical a (Int64.to_int b land 63)
+
+(* Operands of float instructions: register / float-immediate bits are
+   IEEE patterns; integer immediates are taken by value. *)
+let as_float env th = function
+  | Imm i -> Int64.to_float i
+  | op -> Int64.float_of_bits (eval_operand env th op)
+
+let round_f32 f = Int32.float_of_bits (Int32.bits_of_float f)
+
+let exec_fop op ty a b =
+  let r =
+    match op with
+    | Fadd -> a +. b
+    | Fsub -> a -. b
+    | Fmul -> a *. b
+    | Fdiv -> a /. b
+    | Fmin -> Float.min a b
+    | Fmax -> Float.max a b
+  in
+  if ty = F32 then round_f32 r else r
+
+let exec_funary op ty a =
+  let r =
+    match op with
+    | Sqrt -> Float.sqrt a
+    | Rsqrt -> 1.0 /. Float.sqrt a
+    | Rcp -> 1.0 /. a
+    | Sin -> Float.sin a
+    | Cos -> Float.cos a
+    | Ex2 -> Float.pow 2.0 a
+    | Lg2 -> Float.log a /. Float.log 2.0
+  in
+  if ty = F32 then round_f32 r else r
+
+let exec_cvt ~dst_ty ~src_ty v =
+  let fval () = Int64.float_of_bits v in
+  match (dtype_is_float dst_ty, dtype_is_float src_ty) with
+  | true, true ->
+      if dst_ty = F32 then Int64.bits_of_float (round_f32 (fval ())) else v
+  | true, false ->
+      let f = Int64.to_float v in
+      Int64.bits_of_float (if dst_ty = F32 then round_f32 f else f)
+  | false, true -> Int64.of_float (fval ())
+  | false, false -> (
+      (* narrow with the destination's signedness *)
+      match dst_ty with
+      | U8 -> Int64.logand v 0xFFL
+      | S8 -> Int64.of_int ((Int64.to_int (Int64.logand v 0xFFL) lsl 55) asr 55)
+      | U16 -> Int64.logand v 0xFFFFL
+      | S16 ->
+          Int64.of_int ((Int64.to_int (Int64.logand v 0xFFFFL) lsl 47) asr 47)
+      | U32 -> Int64.logand v 0xFFFFFFFFL
+      | S32 -> Int64.of_int32 (Int64.to_int32 v)
+      | U64 | S64 -> v
+      | F32 | F64 -> assert false)
+
+let exec_cmp c ty a b =
+  let r =
+    if dtype_is_float ty then
+      Float.compare (Int64.float_of_bits a) (Int64.float_of_bits b)
+    else if dtype_is_signed ty then Int64.compare a b
+    else Int64.unsigned_compare a b
+  in
+  match c with
+  | Eq -> r = 0
+  | Ne -> r <> 0
+  | Lt -> r < 0
+  | Le -> r <= 0
+  | Gt -> r > 0
+  | Ge -> r >= 0
+
+let exec_atom op old v =
+  match op with
+  | Aadd -> Int64.add old v
+  | Amin -> if Int64.compare old v <= 0 then old else v
+  | Amax -> if Int64.compare old v >= 0 then old else v
+  | Aexch -> v
+  | Acas -> v (* compare value handled by the caller if needed *)
+
+(* Execute a non-memory, non-control instruction for one thread,
+   writing results into its register/predicate files. *)
+let exec_alu env th (i : Ptx.Instr.t) =
+  match i with
+  | Mov (d, s) -> th.regs.(d) <- eval_operand env th s
+  | Iop (op, d, a, b) ->
+      th.regs.(d) <- exec_iop op (eval_operand env th a) (eval_operand env th b)
+  | Mad (d, a, b, c) ->
+      th.regs.(d) <-
+        Int64.add
+          (Int64.mul (eval_operand env th a) (eval_operand env th b))
+          (eval_operand env th c)
+  | Fop (op, ty, d, a, b) ->
+      th.regs.(d) <-
+        Int64.bits_of_float
+          (exec_fop op ty (as_float env th a) (as_float env th b))
+  | Fma (ty, d, a, b, c) ->
+      let r = (as_float env th a *. as_float env th b) +. as_float env th c in
+      th.regs.(d) <- Int64.bits_of_float (if ty = F32 then round_f32 r else r)
+  | Funary (op, ty, d, a) ->
+      th.regs.(d) <- Int64.bits_of_float (exec_funary op ty (as_float env th a))
+  | Cvt (dst_ty, src_ty, d, a) ->
+      th.regs.(d) <- exec_cvt ~dst_ty ~src_ty (eval_operand env th a)
+  | Setp (c, ty, p, a, b) ->
+      th.preds.(p) <-
+        exec_cmp c ty (eval_operand env th a) (eval_operand env th b)
+  | Selp (d, a, b, p) ->
+      th.regs.(d) <-
+        (if th.preds.(p) then eval_operand env th a else eval_operand env th b)
+  | Pnot (d, s) -> th.preds.(d) <- not th.preds.(s)
+  | Pand (d, a, b) -> th.preds.(d) <- th.preds.(a) && th.preds.(b)
+  | Por (d, a, b) -> th.preds.(d) <- th.preds.(a) || th.preds.(b)
+  | Ld_param _ | Ld _ | St _ | Atom _ | Bra _ | Bar | Exit | Label _ ->
+      invalid_arg "Exec.exec_alu: not an ALU instruction"
+
+(* Functional-unit class, for the Fig 4 occupancy statistics. *)
+type unit_class = SP | SFU | LDST
+
+let unit_of_instr (i : Ptx.Instr.t) =
+  match i with
+  | Funary _ -> SFU
+  | Ld _ | St _ | Atom _ -> LDST
+  | Ld_param _ | Mov _ | Iop _ | Mad _ | Fop _ | Fma _ | Cvt _ | Setp _
+  | Selp _ | Pnot _ | Pand _ | Por _ | Bra _ | Bar | Exit | Label _ ->
+      SP

@@ -1,0 +1,47 @@
+(** Functional semantics of one thread executing one instruction.
+
+    Registers are 64-bit; floats are stored as IEEE-754 bit patterns
+    (F32 results are rounded through 32 bits).  Integer division by
+    zero yields 0, a total stand-in for the undefined PTX behaviour. *)
+
+open Ptx.Types
+
+type thread = {
+  regs : int64 array;
+  preds : bool array;
+  tid : int * int * int;
+  lane : int;
+}
+
+(** Per-warp execution environment (identical for all lanes). *)
+type env = {
+  ctaid : int * int * int;
+  ntid : int * int * int;
+  nctaid : int * int * int;
+  warp_in_cta : int;
+}
+
+val eval_operand : env -> thread -> operand -> int64
+val eval_addr : env -> thread -> addr -> int
+
+val mulhi64 : int64 -> int64 -> int64
+(** High 64 bits of the signed 64x64 product. *)
+
+val exec_iop : iop -> int64 -> int64 -> int64
+val round_f32 : float -> float
+val exec_fop : fop -> dtype -> float -> float -> float
+val exec_funary : funary -> dtype -> float -> float
+val exec_cvt : dst_ty:dtype -> src_ty:dtype -> int64 -> int64
+val exec_cmp : cmp -> dtype -> int64 -> int64 -> bool
+
+val exec_atom : atomop -> int64 -> int64 -> int64
+(** [exec_atom op old v] is the new memory value. *)
+
+val exec_alu : env -> thread -> Ptx.Instr.t -> unit
+(** Execute a non-memory, non-control instruction for one thread.
+    @raise Invalid_argument on memory/control instructions. *)
+
+(** Functional-unit class (for the Fig 4 occupancy statistics). *)
+type unit_class = SP | SFU | LDST
+
+val unit_of_instr : Ptx.Instr.t -> unit_class

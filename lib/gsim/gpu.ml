@@ -1,0 +1,158 @@
+(* Top-level cycle simulator: SMs + interconnect + memory partitions,
+   plus the per-launch CTA work distributor.
+
+   The machine persists across the kernel launches of one application,
+   so L1/L2 contents survive kernel boundaries as they do on hardware;
+   only the warp slots are reconfigured per launch.
+
+   CTA scheduling (Section X.B): the hardware default assigns CTAs to
+   SMs in round-robin order as slots free up; the clustered policy
+   sends groups of [k] consecutive CTAs to the same SM to exploit
+   neighbour-CTA data locality in the private L1s. *)
+
+type t = {
+  cfg : Config.t;
+  stats : Stats.t;
+  icnt : Icnt.t;
+  parts : L2part.t array;
+  sms : Sm.t array;
+  mutable cycle : int;
+}
+
+exception Stalled of int
+
+let create_machine ?(cfg = Config.default) ?stats () =
+  let stats = match stats with Some s -> s | None -> Stats.create () in
+  {
+    cfg;
+    stats;
+    icnt = Icnt.create cfg;
+    parts =
+      Array.init cfg.Config.n_mem_partitions (fun id ->
+          L2part.create cfg ~id ~stats);
+    sms =
+      Array.init cfg.Config.n_sms (fun id ->
+          Sm.create cfg ~id ~stats ~warp_slots:0);
+    cycle = 0;
+  }
+
+(* Per-launch distributor state. *)
+type dist = {
+  launch : Launch.t;
+  n_ctas_target : int;
+  mutable next_cta : int;
+  cta_queues : int Queue.t array;
+}
+
+let make_dist t ?(max_ctas = 0) launch =
+  let n_ctas = Launch.n_ctas launch in
+  let n_ctas_target = if max_ctas = 0 then n_ctas else min max_ctas n_ctas in
+  let cta_queues = Array.init t.cfg.Config.n_sms (fun _ -> Queue.create ()) in
+  (match t.cfg.Config.cta_sched with
+  | Config.Round_robin -> ()
+  | Config.Clustered k ->
+      let k = max 1 k in
+      for cta = 0 to n_ctas_target - 1 do
+        Queue.push cta cta_queues.(cta / k mod t.cfg.Config.n_sms)
+      done);
+  { launch; n_ctas_target; next_cta = 0; cta_queues }
+
+(* Hand out CTAs to SMs with free slots. *)
+let distribute t d =
+  match t.cfg.Config.cta_sched with
+  | Config.Round_robin ->
+      let progress = ref true in
+      while !progress && d.next_cta < d.n_ctas_target do
+        progress := false;
+        Array.iter
+          (fun sm ->
+            if
+              d.next_cta < d.n_ctas_target
+              && Sm.free_slots sm > 0
+              && Sm.try_launch sm d.launch ~cta_lin:d.next_cta
+            then begin
+              d.next_cta <- d.next_cta + 1;
+              progress := true
+            end)
+          t.sms
+      done
+  | Config.Clustered _ ->
+      Array.iteri
+        (fun i sm ->
+          let q = d.cta_queues.(i) in
+          let progress = ref true in
+          while !progress && not (Queue.is_empty q) do
+            progress := false;
+            let cta = Queue.peek q in
+            if Sm.free_slots sm > 0 && Sm.try_launch sm d.launch ~cta_lin:cta
+            then begin
+              ignore (Queue.pop q);
+              progress := true
+            end
+          done)
+        t.sms
+
+let work_remaining t d =
+  let pending_ctas =
+    match t.cfg.Config.cta_sched with
+    | Config.Round_robin -> d.next_cta < d.n_ctas_target
+    | Config.Clustered _ ->
+        Array.exists (fun q -> not (Queue.is_empty q)) d.cta_queues
+  in
+  pending_ctas
+  || Array.exists (fun sm -> not (Sm.idle sm)) t.sms
+  || Array.exists (fun p -> not (L2part.idle p)) t.parts
+
+let step t d =
+  distribute t d;
+  let now = t.cycle in
+  Array.iter (fun sm -> Sm.cycle sm ~now ~icnt:t.icnt) t.sms;
+  Array.iter (fun p -> L2part.cycle p ~now ~icnt:t.icnt) t.parts;
+  t.cycle <- t.cycle + 1
+
+(* Run one kernel launch to completion (or to the caps), keeping cache
+   state from prior launches.  Returns false when an instruction/cycle
+   cap stopped the launch early.
+   @raise Stalled when the machine makes no progress for a long time —
+   a simulator bug guard, not an expected outcome. *)
+let run_launch t ?max_ctas (launch : Launch.t) =
+  let threads_per_cta = Launch.threads_per_cta launch in
+  let ctas_per_sm =
+    Config.ctas_per_sm t.cfg ~threads_per_cta
+      ~smem_bytes:launch.Launch.kernel.Ptx.Kernel.smem_bytes
+  in
+  let warps_per_cta =
+    Launch.warps_per_cta launch ~warp_size:t.cfg.Config.warp_size
+  in
+  Array.iter
+    (fun sm -> Sm.reconfigure sm ~warp_slots:(ctas_per_sm * warps_per_cta))
+    t.sms;
+  let d = make_dist t ?max_ctas launch in
+  let last_activity = ref t.cycle in
+  let last_fingerprint = ref (-1) in
+  let fingerprint () =
+    t.stats.Stats.warp_insts + t.stats.Stats.l1_probe_cycles
+    + t.stats.Stats.completed_ctas
+  in
+  let cap_hit () =
+    (t.cfg.Config.max_warp_insts > 0
+     && t.stats.Stats.warp_insts >= t.cfg.Config.max_warp_insts)
+    || t.cycle >= t.cfg.Config.max_cycles
+  in
+  while work_remaining t d && not (cap_hit ()) do
+    step t d;
+    let fp = fingerprint () in
+    if fp <> !last_fingerprint then begin
+      last_fingerprint := fp;
+      last_activity := t.cycle
+    end
+    else if t.cycle - !last_activity > 200_000 then raise (Stalled t.cycle)
+  done;
+  t.stats.Stats.cycles <- t.cycle;
+  not (cap_hit ())
+
+(* Convenience: one launch on a fresh machine. *)
+let run ?cfg ?max_ctas ?stats (launch : Launch.t) =
+  let t = create_machine ?cfg ?stats () in
+  ignore (run_launch t ?max_ctas launch);
+  t

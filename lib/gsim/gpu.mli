@@ -1,0 +1,30 @@
+(** Top-level cycle simulator: SMs + interconnect + memory partitions,
+    plus the per-launch CTA work distributor.
+
+    The machine persists across the kernel launches of one application,
+    so L1/L2 contents survive kernel boundaries as on hardware; only
+    the warp slots are reconfigured per launch. *)
+
+type t = {
+  cfg : Config.t;
+  stats : Stats.t;
+  icnt : Icnt.t;
+  parts : L2part.t array;
+  sms : Sm.t array;
+  mutable cycle : int;
+}
+
+exception Stalled of int
+(** Raised when the machine makes no progress for a long time — a
+    simulator bug guard, not an expected outcome. *)
+
+val create_machine : ?cfg:Config.t -> ?stats:Stats.t -> unit -> t
+
+val run_launch : t -> ?max_ctas:int -> Launch.t -> bool
+(** Run one kernel launch to completion (or to the instruction/cycle
+    caps), keeping cache state from prior launches.  Returns false when
+    a cap stopped the launch early.
+    @raise Stalled on livelock. *)
+
+val run : ?cfg:Config.t -> ?max_ctas:int -> ?stats:Stats.t -> Launch.t -> t
+(** One launch on a fresh machine. *)

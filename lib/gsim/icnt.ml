@@ -1,0 +1,76 @@
+(* Interconnection network between the SMs and the memory partitions.
+
+   Request path: each SM owns a finite injection buffer
+   ([icnt_buffer_size] credits).  The L1 checks [can_inject] before
+   declaring a miss — a full buffer is the paper's "reservation fail by
+   interconnection".  Requests arrive at their partition after
+   [icnt_latency] cycles and are consumed by the partition's input
+   queue; a credit returns to the SM when its request is consumed.
+
+   Response path: modelled with the same latency but unlimited
+   buffering (fills are drained at a fixed rate by the SMs). *)
+
+type t = {
+  cfg : Config.t;
+  to_part : Request.t Queue.t array; (* per partition, FIFO by arrival *)
+  to_sm : Request.t Queue.t array; (* per SM, FIFO by arrival *)
+  sm_inflight : int array; (* outstanding credits used per SM *)
+}
+
+let create (cfg : Config.t) =
+  {
+    cfg;
+    to_part = Array.init cfg.Config.n_mem_partitions (fun _ -> Queue.create ());
+    to_sm = Array.init cfg.Config.n_sms (fun _ -> Queue.create ());
+    sm_inflight = Array.make cfg.Config.n_sms 0;
+  }
+
+(* Memory partition servicing a line address.  Under the Section X.C
+   semi-global-L2 ablation each cluster of SMs owns a private subset of
+   the partitions, so the partition depends on the requesting SM too. *)
+let partition_of (cfg : Config.t) ~sm line_addr =
+  let n = cfg.Config.n_mem_partitions in
+  let line = line_addr / cfg.Config.line_size in
+  if cfg.Config.l2_cluster <= 0 then line mod n
+  else begin
+    let n_clusters =
+      (cfg.Config.n_sms + cfg.Config.l2_cluster - 1) / cfg.Config.l2_cluster
+    in
+    let parts_per_cluster = max 1 (n / n_clusters) in
+    let cluster = sm / cfg.Config.l2_cluster in
+    let base = cluster * parts_per_cluster mod n in
+    base + (line mod parts_per_cluster)
+  end
+
+let can_inject t ~sm = t.sm_inflight.(sm) < t.cfg.Config.icnt_buffer_size
+
+let inject_request t ~now (req : Request.t) =
+  let part = partition_of t.cfg ~sm:req.Request.sm_id req.Request.line_addr in
+  req.Request.t_icnt <- now;
+  req.Request.t_arrive <- now + t.cfg.Config.icnt_latency;
+  t.sm_inflight.(req.Request.sm_id) <- t.sm_inflight.(req.Request.sm_id) + 1;
+  Queue.push req t.to_part.(part)
+
+(* Head request for the partition if it has arrived; consuming it
+   returns the credit to its SM. *)
+let pop_request t ~now ~part =
+  match Queue.peek_opt t.to_part.(part) with
+  | Some req when req.Request.t_arrive <= now ->
+      ignore (Queue.pop t.to_part.(part));
+      t.sm_inflight.(req.Request.sm_id) <-
+        t.sm_inflight.(req.Request.sm_id) - 1;
+      Some req
+  | Some _ | None -> None
+
+let inject_response t ~now (req : Request.t) =
+  req.Request.t_resp_arrive <- now + t.cfg.Config.icnt_latency;
+  Queue.push req t.to_sm.(req.Request.sm_id)
+
+let pop_response t ~now ~sm =
+  match Queue.peek_opt t.to_sm.(sm) with
+  | Some req when req.Request.t_resp_arrive <= now ->
+      ignore (Queue.pop t.to_sm.(sm));
+      Some req
+  | Some _ | None -> None
+
+let pending_responses t ~sm = Queue.length t.to_sm.(sm)

@@ -1,0 +1,145 @@
+(* One memory partition: a slice of the unified L2 cache plus its DRAM
+   channel.
+
+   Each cycle the partition (a) completes DRAM transactions whose data
+   is ready, filling the L2 and releasing MSHR waiters, (b) completes
+   pending L2 hits after the ROP latency, (c) accepts newly arrived
+   interconnect requests into a finite input queue, and (d) processes
+   the queue head: stores write-allocate and stream to DRAM
+   (fire-and-forget), loads probe the L2 with hit / hit-reserved /
+   miss / reservation-fail outcomes mirroring the L1 model. *)
+
+type dram_txn = { d_line : int; d_ready : int; d_write : bool }
+
+type pending_hit = { h_req : Request.t; h_ready : int }
+
+type t = {
+  id : int;
+  cfg : Config.t;
+  stats : Stats.t;
+  cache : Cache.t;
+  input : Request.t Queue.t;
+  dram : dram_txn Queue.t;
+  hits : pending_hit Queue.t;
+  resp : Request.t Queue.t;
+  mutable dram_next_free : int;
+  mutable rsrv_fails : int;
+  mutable dram_reads : int;
+  mutable dram_writes : int;
+}
+
+let create (cfg : Config.t) ~id ~stats =
+  {
+    id;
+    cfg;
+    stats;
+    cache =
+      Cache.create ~sets:cfg.Config.l2_sets ~ways:cfg.Config.l2_ways
+        ~line_size:cfg.Config.line_size
+        ~mshr_entries:cfg.Config.l2_mshr_entries
+        ~mshr_max_merge:cfg.Config.l1_mshr_max_merge;
+    input = Queue.create ();
+    dram = Queue.create ();
+    hits = Queue.create ();
+    resp = Queue.create ();
+    dram_next_free = 0;
+    rsrv_fails = 0;
+    dram_reads = 0;
+    dram_writes = 0;
+  }
+
+let respond t ~now ~(level : Request.level) (req : Request.t) =
+  req.Request.t_serviced <- now;
+  req.Request.level <- Request.deeper req.Request.level level;
+  Queue.push req t.resp
+
+(* Schedule a DRAM transaction; returns its completion time.  The
+   channel issues one burst every [dram_interval] cycles. *)
+let schedule_dram t ~start ~line ~write =
+  let begin_at = max start t.dram_next_free in
+  t.dram_next_free <- begin_at + t.cfg.Config.dram_interval;
+  if write then t.dram_writes <- t.dram_writes + 1
+  else t.dram_reads <- t.dram_reads + 1;
+  let ready = begin_at + t.cfg.Config.dram_latency in
+  if not write then Queue.push { d_line = line; d_ready = ready; d_write = write } t.dram;
+  ready
+
+let dram_has_space t = Queue.length t.dram < t.cfg.Config.dram_queue_size
+
+let cycle t ~now ~icnt =
+  let cfg = t.cfg in
+  (* (a) DRAM completions: fill L2, release waiters *)
+  let continue_ = ref true in
+  while !continue_ do
+    match Queue.peek_opt t.dram with
+    | Some txn when txn.d_ready <= now ->
+        ignore (Queue.pop t.dram);
+        let waiters = Cache.fill t.cache ~line_addr:txn.d_line in
+        List.iter (fun req -> respond t ~now ~level:Request.Lvl_dram req) waiters
+    | Some _ | None -> continue_ := false
+  done;
+  (* (b) L2 hits whose ROP latency elapsed *)
+  let continue_ = ref true in
+  while !continue_ do
+    match Queue.peek_opt t.hits with
+    | Some h when h.h_ready <= now ->
+        ignore (Queue.pop t.hits);
+        respond t ~now ~level:Request.Lvl_l2 h.h_req
+    | Some _ | None -> continue_ := false
+  done;
+  (* (c) accept arrived interconnect requests into the input queue *)
+  let continue_ = ref true in
+  while !continue_ && Queue.length t.input < cfg.Config.l2_input_queue_size do
+    match Icnt.pop_request icnt ~now ~part:t.id with
+    | Some req -> Queue.push req t.input
+    | None -> continue_ := false
+  done;
+  (* (d) process the input-queue head *)
+  (match Queue.peek_opt t.input with
+  | None -> ()
+  | Some req -> (
+      if req.Request.t_l2_start < 0 then req.Request.t_l2_start <- now;
+      match req.Request.kind with
+      | Request.Store ->
+          if Cache.write_allocate t.cache ~line_addr:req.Request.line_addr
+          then begin
+            ignore (Queue.pop t.input);
+            (* write-through to DRAM, no response expected *)
+            ignore
+              (schedule_dram t ~start:(now + cfg.Config.l2_latency)
+                 ~line:req.Request.line_addr ~write:true)
+          end
+          else begin
+            t.rsrv_fails <- t.rsrv_fails + 1;
+            t.stats.Stats.l2_rsrv_fails <- t.stats.Stats.l2_rsrv_fails + 1
+          end
+      | Request.Load | Request.Atomic -> (
+          match
+            Cache.access_load t.cache ~req ~icnt_ok:(dram_has_space t)
+          with
+          | Cache.Hit ->
+              ignore (Queue.pop t.input);
+              Stats.record_l2_access t.stats req.Request.cls ~miss:false;
+              Queue.push
+                { h_req = req; h_ready = now + cfg.Config.l2_latency }
+                t.hits
+          | Cache.Hit_reserved ->
+              ignore (Queue.pop t.input);
+              Stats.record_l2_access t.stats req.Request.cls ~miss:false
+          | Cache.Miss ->
+              ignore (Queue.pop t.input);
+              Stats.record_l2_access t.stats req.Request.cls ~miss:true;
+              ignore
+                (schedule_dram t ~start:(now + cfg.Config.l2_latency)
+                   ~line:req.Request.line_addr ~write:false)
+          | Cache.Rsrv_fail _ ->
+              t.rsrv_fails <- t.rsrv_fails + 1;
+              t.stats.Stats.l2_rsrv_fails <- t.stats.Stats.l2_rsrv_fails + 1)));
+  (* (e) inject one response back towards its SM *)
+  match Queue.take_opt t.resp with
+  | Some req -> Icnt.inject_response icnt ~now req
+  | None -> ()
+
+let idle t =
+  Queue.is_empty t.input && Queue.is_empty t.dram && Queue.is_empty t.hits
+  && Queue.is_empty t.resp

@@ -1,0 +1,15 @@
+(** One memory partition: a slice of the unified L2 cache plus its DRAM
+    channel.  Stores write-allocate and stream to DRAM fire-and-forget;
+    loads probe the L2 with the same outcome taxonomy as the L1. *)
+
+type t
+
+val create : Config.t -> id:int -> stats:Stats.t -> t
+
+val cycle : t -> now:int -> icnt:Icnt.t -> unit
+(** One cycle: complete DRAM transactions and pending L2 hits, accept
+    arrived interconnect requests, process the input-queue head, and
+    inject one response back towards its SM. *)
+
+val idle : t -> bool
+(** No queued work anywhere in the partition. *)

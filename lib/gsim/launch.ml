@@ -1,0 +1,59 @@
+(* A kernel launch: grid/block geometry, parameter bindings, the global
+   memory image, and the per-pc load classification that both
+   simulators tag memory traffic with. *)
+
+type t = {
+  kernel : Ptx.Kernel.t;
+  grid : int * int * int;
+  block : int * int * int;
+  params : (string, int64) Hashtbl.t;
+  global : Mem.t;
+  classes : Dataflow.Classify.result;
+  reconv : int array;
+}
+
+let create ~kernel ~grid ~block ~params ~global =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun (k, v) -> Hashtbl.replace tbl k v) params;
+  List.iter
+    (fun (p : Ptx.Kernel.param) ->
+      if not (Hashtbl.mem tbl p.pname) then
+        invalid_arg
+          (Printf.sprintf "Launch.create: parameter %s of kernel %s unbound"
+             p.pname kernel.Ptx.Kernel.kname))
+    kernel.Ptx.Kernel.params;
+  {
+    kernel;
+    grid;
+    block;
+    params = tbl;
+    global;
+    classes = Dataflow.Classify.classify kernel;
+    reconv = Warp.reconvergence_table kernel;
+  }
+
+let n_ctas t =
+  let x, y, z = t.grid in
+  x * y * z
+
+let threads_per_cta t =
+  let x, y, z = t.block in
+  x * y * z
+
+let warps_per_cta t ~warp_size =
+  (threads_per_cta t + warp_size - 1) / warp_size
+
+(* 3-D coordinates of the linearized CTA id (paper's linearization:
+   CtaId.x + CtaId.y*CtaDim.x + CtaId.z*CtaDim.x*CtaDim.y). *)
+let cta_coords t lin =
+  let gx, gy, _ = t.grid in
+  (lin mod gx, lin / gx mod gy, lin / (gx * gy))
+
+let thread_coords t linear_tid =
+  let bx, by, _ = t.block in
+  (linear_tid mod bx, linear_tid / bx mod by, linear_tid / (bx * by))
+
+let load_class t pc =
+  match Dataflow.Classify.class_of_global_load t.classes pc with
+  | Some c -> c
+  | None -> Dataflow.Classify.Deterministic

@@ -1,0 +1,36 @@
+(** A kernel launch: grid/block geometry, parameter bindings, the
+    global-memory image, and the per-pc load classification that both
+    simulators tag memory traffic with. *)
+
+type t = {
+  kernel : Ptx.Kernel.t;
+  grid : int * int * int;
+  block : int * int * int;
+  params : (string, int64) Hashtbl.t;
+  global : Mem.t;
+  classes : Dataflow.Classify.result;
+  reconv : int array;
+}
+
+val create :
+  kernel:Ptx.Kernel.t ->
+  grid:int * int * int ->
+  block:int * int * int ->
+  params:(string * int64) list ->
+  global:Mem.t ->
+  t
+(** Classifies the kernel's loads and precomputes reconvergence points.
+    @raise Invalid_argument when a declared parameter is unbound. *)
+
+val n_ctas : t -> int
+val threads_per_cta : t -> int
+val warps_per_cta : t -> warp_size:int -> int
+
+val cta_coords : t -> int -> int * int * int
+(** 3-D coordinates of a linearized CTA id (the paper's linearization:
+    [x + y*dimx + z*dimx*dimy]). *)
+
+val thread_coords : t -> int -> int * int * int
+
+val load_class : t -> int -> Dataflow.Classify.load_class
+(** Class of the global load at pc; [Deterministic] for non-loads. *)

@@ -1,0 +1,59 @@
+(* Flat byte-addressable memories.  Global memory is one Bytes buffer
+   shared by all CTAs; shared/local memories are small per-CTA buffers.
+   Register values are 64-bit; floats travel as IEEE-754 bit patterns
+   (f32 values are rounded through 32 bits on store/load). *)
+
+type t = { data : Bytes.t; size : int }
+
+let create size = { data = Bytes.make size '\000'; size }
+
+let size t = t.size
+
+let check t addr len =
+  if addr < 0 || addr + len > t.size then
+    invalid_arg
+      (Printf.sprintf "Mem: access [%d,+%d) out of bounds [0,%d)" addr len
+         t.size)
+
+(* All loads zero-extend into the 64-bit register except the signed
+   narrow types, which sign-extend (as PTX ld.sN does). *)
+let load t (ty : Ptx.Types.dtype) addr =
+  let open Ptx.Types in
+  check t addr (dtype_size ty);
+  match ty with
+  | U8 -> Int64.of_int (Char.code (Bytes.get t.data addr))
+  | S8 -> Int64.of_int (Bytes.get_int8 t.data addr)
+  | U16 -> Int64.of_int (Bytes.get_uint16_le t.data addr)
+  | S16 -> Int64.of_int (Bytes.get_int16_le t.data addr)
+  | U32 -> Int64.logand (Int64.of_int32 (Bytes.get_int32_le t.data addr)) 0xFFFFFFFFL
+  | S32 -> Int64.of_int32 (Bytes.get_int32_le t.data addr)
+  | U64 | S64 -> Bytes.get_int64_le t.data addr
+  | F32 ->
+      (* widen to double bits for the register file *)
+      Int64.bits_of_float
+        (Int32.float_of_bits (Bytes.get_int32_le t.data addr))
+  | F64 -> Bytes.get_int64_le t.data addr
+
+let store t (ty : Ptx.Types.dtype) addr v =
+  let open Ptx.Types in
+  check t addr (dtype_size ty);
+  match ty with
+  | U8 | S8 -> Bytes.set_int8 t.data addr (Int64.to_int v land 0xFF)
+  | U16 | S16 -> Bytes.set_uint16_le t.data addr (Int64.to_int v land 0xFFFF)
+  | U32 | S32 -> Bytes.set_int32_le t.data addr (Int64.to_int32 v)
+  | U64 | S64 -> Bytes.set_int64_le t.data addr v
+  | F32 ->
+      Bytes.set_int32_le t.data addr
+        (Int32.bits_of_float (Int64.float_of_bits v))
+  | F64 -> Bytes.set_int64_le t.data addr v
+
+(* Convenience host-side accessors for initializing datasets and
+   checking results. *)
+let get_u32 t addr = Int64.to_int (load t Ptx.Types.U32 addr)
+let set_u32 t addr v = store t Ptx.Types.U32 addr (Int64.of_int v)
+let get_f32 t addr = Int64.float_of_bits (load t Ptx.Types.F32 addr)
+let set_f32 t addr v = store t Ptx.Types.F32 addr (Int64.bits_of_float v)
+let get_i64 t addr = load t Ptx.Types.U64 addr
+let set_i64 t addr v = store t Ptx.Types.U64 addr v
+let get_f64 t addr = Int64.float_of_bits (load t Ptx.Types.F64 addr)
+let set_f64 t addr v = store t Ptx.Types.F64 addr (Int64.bits_of_float v)

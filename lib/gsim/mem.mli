@@ -1,0 +1,30 @@
+(** Flat byte-addressable memory.  Global memory is one buffer shared
+    by all CTAs; shared/local memories are small per-CTA instances.
+    Register values are 64 bits; floats travel as IEEE-754 bit patterns
+    (F32 values round through 32 bits on store/load). *)
+
+type t
+
+val create : int -> t
+(** [create size] is a zeroed memory of [size] bytes. *)
+
+val size : t -> int
+
+val load : t -> Ptx.Types.dtype -> int -> int64
+(** Typed load; narrow signed types sign-extend, unsigned zero-extend,
+    F32 widens to double bits.
+    @raise Invalid_argument on out-of-bounds access. *)
+
+val store : t -> Ptx.Types.dtype -> int -> int64 -> unit
+(** Typed store. @raise Invalid_argument on out-of-bounds access. *)
+
+(** {1 Host-side convenience accessors} *)
+
+val get_u32 : t -> int -> int
+val set_u32 : t -> int -> int -> unit
+val get_f32 : t -> int -> float
+val set_f32 : t -> int -> float -> unit
+val get_i64 : t -> int -> int64
+val set_i64 : t -> int -> int64 -> unit
+val get_f64 : t -> int -> float
+val set_f64 : t -> int -> float -> unit

@@ -1,0 +1,23 @@
+(** Minimal serial set-associative LRU cache: every access resolves
+    immediately (hit, or miss + fill).  Used by the functional
+    simulator to emulate the CUDA-profiler hit/miss counters
+    (Table III), where no in-flight state is involved. *)
+
+type t = {
+  sets : int;
+  ways : int;
+  line_size : int;
+  tags : int array array;
+  lru : int array array;
+  mutable time : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+val create : sets:int -> ways:int -> line_size:int -> t
+val line_addr : t -> int -> int
+
+val access : t -> int -> bool
+(** Access one line address; true on hit.  Misses allocate (LRU). *)
+
+val miss_ratio : t -> float

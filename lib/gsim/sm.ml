@@ -1,0 +1,501 @@
+(* Streaming multiprocessor timing model.
+
+   Per cycle (driven by [Gpu]):
+     1. fills returning from the interconnect and local L1-hit
+        completions wake waiting warps;
+     2. the LD/ST unit issues at most one coalesced request per cycle
+        into the L1, recording hit / hit-reserved / miss /
+        reservation-fail outcomes (Fig 3) — trailing requests of a
+        multi-request warp load wait, which is the paper's "rsrv fail
+        by a current warp";
+     3. the issue stage picks one ready warp (loose round-robin) whose
+        required functional unit is free and executes its next
+        instruction.
+
+   Occupancy of each unit's first pipeline stage is sampled every cycle
+   for Fig 4. *)
+
+type cls = Dataflow.Classify.load_class
+
+type warp_state =
+  | W_ready
+  | W_blocked_until of int
+  | W_waiting_mem
+  | W_barrier
+  | W_done
+  | W_empty
+
+type slot = { mutable warp : Warp.t option; mutable state : warp_state }
+
+type resident = {
+  rc_cta : Cta.t;
+  rc_base : int; (* first slot index *)
+  rc_nwarps : int;
+}
+
+(* One warp-level memory instruction being pushed into the L1, line by
+   line.  [pm_groups] holds the remaining sub-warp groups of the
+   Section X.A warp-splitting ablation. *)
+type pending_mem = {
+  pm_wl : Request.warp_load option; (* None for stores *)
+  mutable pm_lines : int list;
+  mutable pm_groups : int list list;
+  pm_kind : Request.kind;
+  pm_cls : cls;
+  pm_prefetch : bool; (* next-line prefetch on miss *)
+  pm_bypass : bool; (* skip the L1 *)
+}
+
+type hit_completion = { hc_ready : int; hc_req : Request.t }
+
+type t = {
+  id : int;
+  cfg : Config.t;
+  stats : Stats.t;
+  l1 : Cache.t;
+  mutable slots : slot array;
+  mutable residents : resident list;
+  ldst_q : pending_mem Queue.t;
+  hit_pending : hit_completion Queue.t;
+  mutable sp_busy_until : int;
+  mutable sfu_busy_until : int;
+  mutable ldst_busy_until : int; (* shared/const ops occupy LD/ST too *)
+  mutable last_issued : int;
+  mutable completed_ctas : int;
+}
+
+let create (cfg : Config.t) ~id ~stats ~warp_slots =
+  {
+    id;
+    cfg;
+    stats;
+    l1 =
+      Cache.create ~sets:cfg.Config.l1_sets ~ways:cfg.Config.l1_ways
+        ~line_size:cfg.Config.line_size
+        ~mshr_entries:cfg.Config.l1_mshr_entries
+        ~mshr_max_merge:cfg.Config.l1_mshr_max_merge;
+    slots = Array.init warp_slots (fun _ -> { warp = None; state = W_empty });
+    residents = [];
+    ldst_q = Queue.create ();
+    hit_pending = Queue.create ();
+    sp_busy_until = 0;
+    sfu_busy_until = 0;
+    ldst_busy_until = 0;
+    last_issued = 0;
+    completed_ctas = 0;
+  }
+
+(* Resize the warp-slot table for a new launch; caches persist across
+   kernel boundaries.  Only legal when no CTAs are resident. *)
+let reconfigure t ~warp_slots =
+  assert (t.residents = []);
+  if Array.length t.slots <> warp_slots then
+    t.slots <- Array.init warp_slots (fun _ -> { warp = None; state = W_empty });
+  t.last_issued <- 0
+
+let free_slots t =
+  Array.fold_left (fun a s -> if s.state = W_empty then a + 1 else a) 0 t.slots
+
+(* Place a CTA in contiguous free slots; false when it does not fit. *)
+let try_launch t (launch : Launch.t) ~cta_lin =
+  let nwarps = Launch.warps_per_cta launch ~warp_size:t.cfg.Config.warp_size in
+  let n = Array.length t.slots in
+  let rec find_base base =
+    if base + nwarps > n then None
+    else if
+      Array.for_all
+        (fun i -> t.slots.(base + i).state = W_empty)
+        (Array.init nwarps Fun.id)
+    then Some base
+    else find_base (base + nwarps)
+  in
+  match find_base 0 with
+  | None -> false
+  | Some base ->
+      let cta = Cta.create launch ~warp_size:t.cfg.Config.warp_size ~cta_lin in
+      Array.iteri
+        (fun i w ->
+          t.slots.(base + i).warp <- Some w;
+          t.slots.(base + i).state <- W_ready)
+        cta.Cta.warps;
+      t.residents <- { rc_cta = cta; rc_base = base; rc_nwarps = Cta.n_warps cta } :: t.residents;
+      true
+
+let resident_of_slot t slot =
+  List.find
+    (fun rc -> slot >= rc.rc_base && slot < rc.rc_base + rc.rc_nwarps)
+    t.residents
+
+(* Barrier release: when every live warp of the CTA is at the barrier,
+   set them all ready. *)
+let check_barrier t rc =
+  let all_there = ref true in
+  for i = rc.rc_base to rc.rc_base + rc.rc_nwarps - 1 do
+    match t.slots.(i).state with
+    | W_barrier | W_done -> ()
+    | W_ready | W_blocked_until _ | W_waiting_mem | W_empty ->
+        all_there := false
+  done;
+  if !all_there then
+    for i = rc.rc_base to rc.rc_base + rc.rc_nwarps - 1 do
+      if t.slots.(i).state = W_barrier then t.slots.(i).state <- W_ready
+    done
+
+(* CTA retirement: free its slots. *)
+let check_cta_done t rc =
+  let all_done = ref true in
+  for i = rc.rc_base to rc.rc_base + rc.rc_nwarps - 1 do
+    if t.slots.(i).state <> W_done then all_done := false
+  done;
+  if !all_done then begin
+    for i = rc.rc_base to rc.rc_base + rc.rc_nwarps - 1 do
+      t.slots.(i).warp <- None;
+      t.slots.(i).state <- W_empty
+    done;
+    t.residents <- List.filter (fun r -> r != rc) t.residents;
+    t.completed_ctas <- t.completed_ctas + 1;
+    t.stats.Stats.completed_ctas <- t.stats.Stats.completed_ctas + 1
+  end
+
+(* ---- memory completion path ---- *)
+
+let complete_request t ~now (req : Request.t) =
+  req.Request.t_return <- now;
+  match req.Request.wl with
+  | None -> ()
+  | Some wl ->
+      if wl.Request.wl_t_first_return < 0 then
+        wl.Request.wl_t_first_return <- now;
+      wl.Request.wl_t_last_return <- now;
+      wl.Request.wl_deepest <-
+        Request.deeper wl.Request.wl_deepest req.Request.level;
+      if req.Request.t_l2_start >= 0 && req.Request.t_icnt >= 0 then
+        wl.Request.wl_sum_icnt_wait <-
+          wl.Request.wl_sum_icnt_wait
+          + max 0
+              (req.Request.t_l2_start - req.Request.t_icnt
+             - t.cfg.Config.icnt_latency);
+      wl.Request.wl_outstanding <- wl.Request.wl_outstanding - 1;
+      if wl.Request.wl_outstanding = 0 then begin
+        Stats.record_warp_load_done t.stats t.cfg wl;
+        let slot = t.slots.(wl.Request.wl_warp_slot) in
+        if slot.state = W_waiting_mem then slot.state <- W_ready
+      end
+
+let process_returns t ~now ~icnt =
+  (* responses from the memory side: fill the L1 and release both the
+     primary request and any merged (hit-reserved) waiters *)
+  let budget = ref 2 in
+  let continue_ = ref true in
+  while !continue_ && !budget > 0 do
+    match Icnt.pop_response icnt ~now ~sm:t.id with
+    | Some req ->
+        decr budget;
+        let waiters =
+          if req.Request.no_fill then []
+          else Cache.fill t.l1 ~line_addr:req.Request.line_addr
+        in
+        complete_request t ~now req;
+        List.iter
+          (fun w ->
+            if w.Request.req_id <> req.Request.req_id then begin
+              w.Request.level <- Request.deeper w.Request.level req.Request.level;
+              complete_request t ~now w
+            end)
+          waiters
+    | None -> continue_ := false
+  done;
+  (* local L1-hit completions *)
+  let continue_ = ref true in
+  while !continue_ do
+    match Queue.peek_opt t.hit_pending with
+    | Some hc when hc.hc_ready <= now ->
+        ignore (Queue.pop t.hit_pending);
+        complete_request t ~now hc.hc_req
+    | Some _ | None -> continue_ := false
+  done
+
+(* ---- LD/ST unit: one L1 access attempt per cycle ---- *)
+
+let accept_times (wl : Request.warp_load option) now =
+  match wl with
+  | None -> ()
+  | Some wl ->
+      if wl.Request.wl_t_first_accept < 0 then
+        wl.Request.wl_t_first_accept <- now;
+      wl.Request.wl_t_last_accept <- now
+
+let ldst_cycle t ~now ~icnt =
+  match Queue.peek_opt t.ldst_q with
+  | None -> ()
+  | Some pm -> (
+      match pm.pm_lines with
+      | [] -> (
+          ignore (Queue.pop t.ldst_q);
+          (* next sub-warp group goes to the back of the queue so other
+             warps can interleave (Section X.A) *)
+          match pm.pm_groups with
+          | g :: rest ->
+              pm.pm_lines <- g;
+              pm.pm_groups <- rest;
+              Queue.push pm t.ldst_q
+          | [] -> ())
+      | line :: rest -> (
+          match pm.pm_kind with
+          | Request.Store ->
+              if Icnt.can_inject icnt ~sm:t.id then begin
+                Cache.invalidate t.l1 ~line_addr:line;
+                let req =
+                  Request.make ~line_addr:line ~sm_id:t.id ~kind:Request.Store
+                    ~cls:pm.pm_cls ~wl:None ~now
+                in
+                req.Request.t_accept <- now;
+                Icnt.inject_request icnt ~now req;
+                Stats.record_l1_store_event t.stats Cache.Miss;
+                t.stats.Stats.global_stores <- t.stats.Stats.global_stores + 1;
+                pm.pm_lines <- rest
+              end
+              else
+                Stats.record_l1_store_event t.stats
+                  (Cache.Rsrv_fail Cache.Fail_icnt)
+          | Request.Load | Request.Atomic when pm.pm_bypass ->
+              (* instruction-aware L1 bypass: the request goes straight
+                 to the L2, no tag or MSHR is reserved and the response
+                 will not fill the L1 *)
+              if Icnt.can_inject icnt ~sm:t.id then begin
+                let req =
+                  Request.make ~line_addr:line ~sm_id:t.id ~kind:pm.pm_kind
+                    ~cls:pm.pm_cls ~wl:pm.pm_wl ~now
+                in
+                (match pm.pm_wl with
+                | Some wl -> req.Request.t_issue <- wl.Request.wl_t_issue
+                | None -> ());
+                req.Request.no_fill <- true;
+                req.Request.t_accept <- now;
+                accept_times pm.pm_wl now;
+                Icnt.inject_request icnt ~now req;
+                pm.pm_lines <- rest
+              end
+              else
+                Stats.record_l1_store_event t.stats
+                  (Cache.Rsrv_fail Cache.Fail_icnt)
+          | Request.Load | Request.Atomic -> (
+              let req =
+                Request.make ~line_addr:line ~sm_id:t.id ~kind:pm.pm_kind
+                  ~cls:pm.pm_cls ~wl:pm.pm_wl ~now
+              in
+              (match pm.pm_wl with
+              | Some wl -> req.Request.t_issue <- wl.Request.wl_t_issue
+              | None -> ());
+              let icnt_ok = Icnt.can_inject icnt ~sm:t.id in
+              let outcome = Cache.access_load t.l1 ~req ~icnt_ok in
+              Stats.record_l1_event t.stats outcome pm.pm_cls;
+              match outcome with
+              | Cache.Hit ->
+                  req.Request.t_accept <- now;
+                  accept_times pm.pm_wl now;
+                  Queue.push
+                    { hc_ready = now + t.cfg.Config.l1_hit_latency;
+                      hc_req = req }
+                    t.hit_pending;
+                  pm.pm_lines <- rest
+              | Cache.Hit_reserved ->
+                  req.Request.t_accept <- now;
+                  accept_times pm.pm_wl now;
+                  pm.pm_lines <- rest
+              | Cache.Miss ->
+                  req.Request.t_accept <- now;
+                  accept_times pm.pm_wl now;
+                  Icnt.inject_request icnt ~now req;
+                  pm.pm_lines <- rest;
+                  (* Section X.A: next-line prefetch for N loads, only
+                     when every resource is free (never displaces demand
+                     traffic at reservation time) *)
+                  if pm.pm_prefetch && Icnt.can_inject icnt ~sm:t.id then begin
+                    let pline = line + t.cfg.Config.line_size in
+                    if Cache.probe t.l1 ~line_addr:pline = `Absent then begin
+                      let preq =
+                        Request.make ~line_addr:pline ~sm_id:t.id
+                          ~kind:Request.Load ~cls:pm.pm_cls ~wl:None ~now
+                      in
+                      match
+                        Cache.access_load t.l1 ~req:preq ~icnt_ok:true
+                      with
+                      | Cache.Miss ->
+                          Icnt.inject_request icnt ~now preq;
+                          t.stats.Stats.prefetches_issued <-
+                            t.stats.Stats.prefetches_issued + 1
+                      | Cache.Hit | Cache.Hit_reserved | Cache.Rsrv_fail _ ->
+                          ()
+                    end
+                  end
+              | Cache.Rsrv_fail _ -> ())))
+
+(* ---- issue stage ---- *)
+
+let slot_ready t i ~now =
+  match t.slots.(i).state with
+  | W_ready -> true
+  | W_blocked_until c -> c <= now
+  | W_waiting_mem | W_barrier | W_done | W_empty -> false
+
+let unit_free t ~now = function
+  | Exec.SP -> t.sp_busy_until <= now
+  | Exec.SFU -> t.sfu_busy_until <= now
+  | Exec.LDST -> Queue.length t.ldst_q = 0 && t.ldst_busy_until <= now
+
+(* Effective policy for the global load at (kernel, pc): a per-pc
+   override from the advisor when present, else the class-wide flags. *)
+let policy_for (cfg : Config.t) ~kernel ~pc cls =
+  match List.assoc_opt (kernel, pc) cfg.Config.pc_policies with
+  | Some p -> p
+  | None ->
+      if cls = Dataflow.Classify.Nondeterministic then
+        { Config.lp_split = cfg.Config.warp_split_width;
+          lp_prefetch = cfg.Config.prefetch_ndet;
+          lp_bypass = cfg.Config.bypass_ndet }
+      else Config.no_policy
+
+(* Issue one memory instruction: coalesce, build the warp-load record,
+   enqueue into the LD/ST unit, block the warp if it must wait. *)
+let issue_mem t ~now ~slot_idx (w : Warp.t) (m : Warp.mem_op) =
+  let cfg = t.cfg in
+  let slot = t.slots.(slot_idx) in
+  match (m.Warp.m_space, m.Warp.m_kind) with
+  | Ptx.Types.Global, (Warp.Load | Warp.Atomic) ->
+      let launch = (resident_of_slot t slot_idx).rc_cta.Cta.launch in
+      let kernel = launch.Launch.kernel.Ptx.Kernel.kname in
+      let cls = Launch.load_class launch m.Warp.m_pc in
+      let pol = policy_for cfg ~kernel ~pc:m.Warp.m_pc cls in
+      let groups =
+        Coalesce.split_lines ~line_size:cfg.Config.line_size
+          ~width:pol.Config.lp_split ~mask:m.Warp.m_mask ~addrs:m.Warp.m_addrs
+      in
+      let total = List.fold_left (fun a g -> a + List.length g) 0 groups in
+      let wl =
+        Request.make_warp_load ~sm:t.id ~warp_slot:slot_idx ~kernel
+          ~pc:m.Warp.m_pc ~cls ~active:(Warp.popcount m.Warp.m_mask) ~now
+      in
+      wl.Request.wl_nreq <- total;
+      wl.Request.wl_outstanding <- total;
+      (match groups with
+      | [] -> slot.state <- W_blocked_until (now + 1)
+      | g :: rest ->
+          Queue.push
+            { pm_wl = Some wl; pm_lines = g; pm_groups = rest;
+              pm_kind =
+                (if m.Warp.m_kind = Warp.Atomic then Request.Atomic
+                 else Request.Load);
+              pm_cls = cls;
+              pm_prefetch = pol.Config.lp_prefetch;
+              pm_bypass = pol.Config.lp_bypass }
+            t.ldst_q;
+          slot.state <- W_waiting_mem);
+      ignore w
+  | Ptx.Types.Global, Warp.Store ->
+      let lines =
+        Coalesce.lines ~line_size:cfg.Config.line_size ~mask:m.Warp.m_mask
+          ~addrs:m.Warp.m_addrs
+      in
+      Queue.push
+        { pm_wl = None; pm_lines = lines; pm_groups = [];
+          pm_kind = Request.Store; pm_cls = Dataflow.Classify.Deterministic;
+          pm_prefetch = false; pm_bypass = false }
+        t.ldst_q;
+      (* stores are fire-and-forget: the warp continues *)
+      slot.state <- W_blocked_until (now + 1)
+  | (Ptx.Types.Shared | Ptx.Types.Local), _ ->
+      if m.Warp.m_kind = Warp.Load then
+        t.stats.Stats.shared_loads <- t.stats.Stats.shared_loads + 1;
+      (* bank conflicts serialize the access: the warp pays one extra
+         trip per additional lane hitting the same 4-byte bank *)
+      let conflicts =
+        if cfg.Config.shared_banks <= 0 then 1
+        else begin
+          let counts = Array.make cfg.Config.shared_banks 0 in
+          Warp.iter_active m.Warp.m_mask (fun lane ->
+              let bank = m.Warp.m_addrs.(lane) / 4 mod cfg.Config.shared_banks in
+              counts.(bank) <- counts.(bank) + 1);
+          Array.fold_left max 1 counts
+        end
+      in
+      t.ldst_busy_until <- now + 1 + conflicts;
+      slot.state <-
+        W_blocked_until (now + cfg.Config.shared_latency + (2 * (conflicts - 1)))
+  | (Ptx.Types.Const | Ptx.Types.Tex | Ptx.Types.Param), _ ->
+      t.ldst_busy_until <- now + 2;
+      slot.state <- W_blocked_until (now + cfg.Config.l1_hit_latency)
+
+let issue_cycle t ~now =
+  let n = Array.length t.slots in
+  if n > 0 then begin
+    let issued = ref false in
+    let tried = ref 0 in
+    (* LRR rotates from the last issuer; GTO stays greedy on the same
+       warp and falls back to the oldest (lowest slot) *)
+    let candidate k =
+      match t.cfg.Config.warp_sched with
+      | Config.Lrr -> (t.last_issued + 1 + k) mod n
+      | Config.Gto ->
+          if k = 0 then t.last_issued
+          else
+            let j = k - 1 in
+            if j < t.last_issued then j else (j + 1) mod n
+    in
+    while (not !issued) && !tried < n do
+      let i = candidate !tried in
+      incr tried;
+      if slot_ready t i ~now then begin
+        match t.slots.(i).warp with
+        | None -> ()
+        | Some w ->
+            let u = Warp.peek_unit w in
+            if unit_free t ~now u then begin
+              issued := true;
+              t.last_issued <- i;
+              t.stats.Stats.warp_insts <- t.stats.Stats.warp_insts + 1;
+              t.stats.Stats.thread_insts <-
+                t.stats.Stats.thread_insts + Warp.popcount (Warp.active_mask w);
+              (match u with
+              | Exec.SP -> t.sp_busy_until <- now + 1
+              | Exec.SFU -> t.sfu_busy_until <- now + t.cfg.Config.sfu_initiation
+              | Exec.LDST -> ());
+              match Warp.step w with
+              | Warp.S_alu Exec.SP ->
+                  t.slots.(i).state <-
+                    W_blocked_until (now + t.cfg.Config.sp_latency)
+              | Warp.S_alu Exec.SFU ->
+                  t.slots.(i).state <-
+                    W_blocked_until (now + t.cfg.Config.sfu_latency)
+              | Warp.S_alu Exec.LDST -> assert false
+              | Warp.S_mem m -> issue_mem t ~now ~slot_idx:i w m
+              | Warp.S_barrier ->
+                  t.slots.(i).state <- W_barrier;
+                  check_barrier t (resident_of_slot t i)
+              | Warp.S_exit_partial ->
+                  t.slots.(i).state <- W_blocked_until (now + 1)
+              | Warp.S_exit_warp ->
+                  t.slots.(i).state <- W_done;
+                  let rc = resident_of_slot t i in
+                  check_barrier t rc;
+                  check_cta_done t rc
+            end
+      end
+    done
+  end
+
+(* Sample unit occupancy (Fig 4) — call after the cycle's work. *)
+let sample_occupancy t ~now =
+  if t.sp_busy_until > now then Stats.record_unit_busy t.stats Exec.SP;
+  if t.sfu_busy_until > now then Stats.record_unit_busy t.stats Exec.SFU;
+  if (not (Queue.is_empty t.ldst_q)) || t.ldst_busy_until > now then
+    Stats.record_unit_busy t.stats Exec.LDST
+
+let cycle t ~now ~icnt =
+  process_returns t ~now ~icnt;
+  ldst_cycle t ~now ~icnt;
+  issue_cycle t ~now;
+  sample_occupancy t ~now
+
+let idle t =
+  t.residents = [] && Queue.is_empty t.ldst_q && Queue.is_empty t.hit_pending

@@ -1,0 +1,26 @@
+(** Streaming-multiprocessor timing model.
+
+    Per cycle: (1) returning fills and local L1-hit completions wake
+    waiting warps; (2) the LD/ST unit pushes at most one coalesced
+    request per cycle into the L1, recording hit / hit-reserved / miss
+    / reservation-fail outcomes (Fig 3) — the trailing requests of a
+    multi-request warp load waiting here are the paper's "rsrv fail by
+    a current warp"; (3) the issue stage picks one ready warp (loose
+    round-robin) whose functional unit is free.  Unit occupancy is
+    sampled every cycle for Fig 4. *)
+
+type t
+
+val create : Config.t -> id:int -> stats:Stats.t -> warp_slots:int -> t
+
+val reconfigure : t -> warp_slots:int -> unit
+(** Resize the warp-slot table for a new launch; caches persist across
+    kernel boundaries.  Only legal when no CTAs are resident. *)
+
+val free_slots : t -> int
+
+val try_launch : t -> Launch.t -> cta_lin:int -> bool
+(** Place a CTA in contiguous free slots; false when it does not fit. *)
+
+val cycle : t -> now:int -> icnt:Icnt.t -> unit
+val idle : t -> bool

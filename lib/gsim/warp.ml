@@ -1,0 +1,254 @@
+(* A warp: [warp_size] threads executing in lockstep under a SIMT
+   reconvergence stack (post-dominator based, as in GPGPU-Sim).
+
+   [step] executes exactly one warp instruction *functionally* —
+   register values, memory values and control flow are resolved
+   immediately — and reports what happened so a caller can model
+   timing on top (the cycle simulator) or just record a trace (the
+   functional simulator). *)
+
+open Ptx.Types
+
+type mem_kind = Load | Store | Atomic
+
+type mem_op = {
+  m_pc : int;
+  m_space : space;
+  m_kind : mem_kind;
+  m_dtype : dtype;
+  m_mask : int; (* lanes active for this access *)
+  m_addrs : int array; (* per-lane effective byte address *)
+}
+
+type step_result =
+  | S_alu of Exec.unit_class (* SP or SFU instruction *)
+  | S_mem of mem_op
+  | S_barrier
+  | S_exit_partial (* some lanes finished; warp continues *)
+  | S_exit_warp (* all lanes finished *)
+
+(* Access to the memories this warp's CTA can see.  [atomic] returns
+   the old value. *)
+type mem_iface = {
+  read : space -> dtype -> int -> int64;
+  write : space -> dtype -> int -> int64 -> unit;
+  atomic : atomop -> dtype -> int -> int64 -> int64;
+}
+
+type entry = { mutable spc : int; smask : int; sreconv : int }
+
+type t = {
+  warp_id : int; (* index within the CTA *)
+  cta_lin : int; (* linearized CTA id *)
+  kernel : Ptx.Kernel.t;
+  env : Exec.env;
+  threads : Exec.thread array;
+  valid_mask : int; (* lanes that hold real threads *)
+  params : (string, int64) Hashtbl.t;
+  reconv_of_pc : int array; (* per-branch reconvergence pc, -1 = exit *)
+  mem : mem_iface;
+  mutable stack : entry list;
+  mutable warp_insts : int;
+  mutable thread_insts : int;
+}
+
+let popcount mask =
+  let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
+  go mask 0
+
+let full_mask n = (1 lsl n) - 1
+
+(* Precompute per-pc reconvergence points from the post-dominator tree;
+   shared across all warps of a launch. *)
+let reconvergence_table kernel =
+  let cfg = Ptx.Cfg.build kernel in
+  let pdom = Ptx.Dom.post_dominators cfg in
+  Array.mapi
+    (fun pc instr ->
+      if Ptx.Instr.is_branch instr then
+        match Ptx.Dom.reconvergence_pc cfg pdom pc with
+        | Some r -> r
+        | None -> -1
+      else -1)
+    kernel.Ptx.Kernel.body
+
+let create ~warp_id ~cta_lin ~env ~threads ~valid_mask ~params ~reconv_of_pc
+    ~mem kernel =
+  {
+    warp_id;
+    cta_lin;
+    kernel;
+    env;
+    threads;
+    valid_mask;
+    params;
+    reconv_of_pc;
+    mem;
+    stack = [ { spc = 0; smask = valid_mask; sreconv = -1 } ];
+    warp_insts = 0;
+    thread_insts = 0;
+  }
+
+let finished w = w.stack = []
+
+let pc w = match w.stack with [] -> -1 | e :: _ -> e.spc
+
+let active_mask w = match w.stack with [] -> 0 | e :: _ -> e.smask
+
+let iter_active mask f =
+  let m = ref mask in
+  let lane = ref 0 in
+  while !m <> 0 do
+    if !m land 1 <> 0 then f !lane;
+    m := !m lsr 1;
+    incr lane
+  done
+
+(* Pop entries whose pc reached their own reconvergence point. *)
+let rec merge w =
+  match w.stack with
+  | e :: rest when e.sreconv >= 0 && e.spc = e.sreconv ->
+      w.stack <- rest;
+      merge w
+  | _ -> ()
+
+let advance w npc =
+  (match w.stack with
+  | [] -> ()
+  | e :: _ -> e.spc <- npc);
+  merge w
+
+let exec_branch w e pc guard target =
+  let mask = e.smask in
+  let taken_mask =
+    match guard with
+    | None -> mask
+    | Some (polarity, p) ->
+        let m = ref 0 in
+        iter_active mask (fun lane ->
+            if w.threads.(lane).Exec.preds.(p) = polarity then
+              m := !m lor (1 lsl lane));
+        !m
+  in
+  let not_taken = mask land lnot taken_mask in
+  let fallthrough = pc + 1 in
+  if taken_mask = 0 then advance w fallthrough
+  else if not_taken = 0 then advance w target
+  else begin
+    (* divergence *)
+    let r = w.reconv_of_pc.(pc) in
+    if r >= 0 then begin
+      e.spc <- r;
+      (* e becomes the reconvergence entry *)
+      w.stack <-
+        { spc = target; smask = taken_mask; sreconv = r }
+        :: { spc = fallthrough; smask = not_taken; sreconv = r }
+        :: w.stack;
+      (* a path that starts at the reconvergence point (e.g. the skip
+         branch of an if) merges immediately — it must not run the
+         post-reconvergence tail on its own *)
+      merge w
+    end
+    else begin
+      (* reconverges only at exit: replace with the two paths *)
+      w.stack <- List.tl w.stack;
+      w.stack <-
+        { spc = target; smask = taken_mask; sreconv = -1 }
+        :: { spc = fallthrough; smask = not_taken; sreconv = -1 }
+        :: w.stack
+    end
+  end
+
+let rec skip_labels w =
+  match w.stack with
+  | [] -> ()
+  | e :: _ -> (
+      match w.kernel.Ptx.Kernel.body.(e.spc) with
+      | Ptx.Instr.Label _ ->
+          advance w (e.spc + 1);
+          skip_labels w
+      | _ -> ())
+
+(* Functional unit the next instruction will occupy, without executing
+   it (used by the SM issue stage for structural-hazard checks). *)
+let peek_unit w =
+  skip_labels w;
+  match w.stack with
+  | [] -> Exec.SP
+  | e :: _ -> Exec.unit_of_instr w.kernel.Ptx.Kernel.body.(e.spc)
+
+(* Execute one warp instruction.  Assumes the warp is not finished. *)
+let step w : step_result =
+  skip_labels w;
+  match w.stack with
+  | [] -> S_exit_warp
+  | e :: _ -> (
+      let pc = e.spc in
+      let mask = e.smask in
+      let instr = w.kernel.Ptx.Kernel.body.(pc) in
+      w.warp_insts <- w.warp_insts + 1;
+      w.thread_insts <- w.thread_insts + popcount mask;
+      match instr with
+      | Ptx.Instr.Label _ -> assert false
+      | Ptx.Instr.Exit ->
+          w.stack <- List.tl w.stack;
+          merge w;
+          if w.stack = [] then S_exit_warp else S_exit_partial
+      | Ptx.Instr.Bar ->
+          advance w (pc + 1);
+          S_barrier
+      | Ptx.Instr.Bra (guard, l) ->
+          exec_branch w e pc guard (Ptx.Kernel.label_pc w.kernel l);
+          S_alu Exec.SP
+      | Ptx.Instr.Ld_param (d, p) ->
+          let v =
+            match Hashtbl.find_opt w.params p with
+            | Some v -> v
+            | None ->
+                invalid_arg ("Warp.step: unbound kernel parameter " ^ p)
+          in
+          iter_active mask (fun lane -> w.threads.(lane).Exec.regs.(d) <- v);
+          advance w (pc + 1);
+          S_alu Exec.SP
+      | Ptx.Instr.Ld (sp, ty, d, a) ->
+          let addrs = Array.make (Array.length w.threads) (-1) in
+          iter_active mask (fun lane ->
+              let th = w.threads.(lane) in
+              let addr = Exec.eval_addr w.env th a in
+              addrs.(lane) <- addr;
+              th.Exec.regs.(d) <- w.mem.read sp ty addr);
+          advance w (pc + 1);
+          S_mem
+            { m_pc = pc; m_space = sp; m_kind = Load; m_dtype = ty;
+              m_mask = mask; m_addrs = addrs }
+      | Ptx.Instr.St (sp, ty, a, v) ->
+          let addrs = Array.make (Array.length w.threads) (-1) in
+          iter_active mask (fun lane ->
+              let th = w.threads.(lane) in
+              let addr = Exec.eval_addr w.env th a in
+              addrs.(lane) <- addr;
+              w.mem.write sp ty addr (Exec.eval_operand w.env th v));
+          advance w (pc + 1);
+          S_mem
+            { m_pc = pc; m_space = sp; m_kind = Store; m_dtype = ty;
+              m_mask = mask; m_addrs = addrs }
+      | Ptx.Instr.Atom (op, ty, d, a, v) ->
+          let addrs = Array.make (Array.length w.threads) (-1) in
+          iter_active mask (fun lane ->
+              let th = w.threads.(lane) in
+              let addr = Exec.eval_addr w.env th a in
+              addrs.(lane) <- addr;
+              th.Exec.regs.(d) <-
+                w.mem.atomic op ty addr (Exec.eval_operand w.env th v));
+          advance w (pc + 1);
+          S_mem
+            { m_pc = pc; m_space = Global; m_kind = Atomic; m_dtype = ty;
+              m_mask = mask; m_addrs = addrs }
+      | Ptx.Instr.Mov _ | Ptx.Instr.Iop _ | Ptx.Instr.Mad _ | Ptx.Instr.Fop _
+      | Ptx.Instr.Fma _ | Ptx.Instr.Funary _ | Ptx.Instr.Cvt _
+      | Ptx.Instr.Setp _ | Ptx.Instr.Selp _ | Ptx.Instr.Pnot _
+      | Ptx.Instr.Pand _ | Ptx.Instr.Por _ ->
+          iter_active mask (fun lane ->
+              Exec.exec_alu w.env w.threads.(lane) instr);
+          advance w (pc + 1);
+          S_alu (Exec.unit_of_instr instr))

@@ -1,0 +1,86 @@
+(** A warp: [warp_size] threads in lockstep under a post-dominator
+    SIMT reconvergence stack (as in GPGPU-Sim).
+
+    [step] executes exactly one warp instruction {e functionally} —
+    registers, memory values and control flow resolve immediately — and
+    reports what happened, so a caller can model timing on top (the
+    cycle simulator) or just record a trace (the functional one). *)
+
+open Ptx.Types
+
+type mem_kind = Load | Store | Atomic
+
+(** A warp-level memory operation: which lanes were active and the
+    per-lane effective byte addresses. *)
+type mem_op = {
+  m_pc : int;
+  m_space : space;
+  m_kind : mem_kind;
+  m_dtype : dtype;
+  m_mask : int;
+  m_addrs : int array;
+}
+
+type step_result =
+  | S_alu of Exec.unit_class  (** SP or SFU instruction completed *)
+  | S_mem of mem_op
+  | S_barrier
+  | S_exit_partial  (** some lanes finished; the warp continues *)
+  | S_exit_warp  (** all lanes finished *)
+
+(** Access to the memories this warp's CTA can see; [atomic] returns
+    the old value. *)
+type mem_iface = {
+  read : space -> dtype -> int -> int64;
+  write : space -> dtype -> int -> int64 -> unit;
+  atomic : atomop -> dtype -> int -> int64 -> int64;
+}
+
+type t = {
+  warp_id : int;
+  cta_lin : int;
+  kernel : Ptx.Kernel.t;
+  env : Exec.env;
+  threads : Exec.thread array;
+  valid_mask : int;
+  params : (string, int64) Hashtbl.t;
+  reconv_of_pc : int array;
+  mem : mem_iface;
+  mutable stack : entry list;
+  mutable warp_insts : int;
+  mutable thread_insts : int;
+}
+
+and entry = { mutable spc : int; smask : int; sreconv : int }
+
+val popcount : int -> int
+val full_mask : int -> int
+
+val reconvergence_table : Ptx.Kernel.t -> int array
+(** Per-pc reconvergence points from the post-dominator tree; -1 for
+    non-branches and branches that reconverge only at exit.  Computed
+    once per kernel and shared by all warps. *)
+
+val create :
+  warp_id:int ->
+  cta_lin:int ->
+  env:Exec.env ->
+  threads:Exec.thread array ->
+  valid_mask:int ->
+  params:(string, int64) Hashtbl.t ->
+  reconv_of_pc:int array ->
+  mem:mem_iface ->
+  Ptx.Kernel.t ->
+  t
+
+val finished : t -> bool
+val pc : t -> int
+val active_mask : t -> int
+val iter_active : int -> (int -> unit) -> unit
+
+val peek_unit : t -> Exec.unit_class
+(** Functional unit the next instruction occupies, without executing
+    it (the SM issue stage's structural-hazard check). *)
+
+val step : t -> step_result
+(** Execute one warp instruction.  The warp must not be finished. *)

@@ -1,0 +1,52 @@
+(** Kernel representation: a named instruction array with declared
+    parameters, register counts and static shared-memory size. *)
+
+open Types
+
+type param = { pname : string; pty : dtype }
+
+type t = {
+  kname : string;
+  params : param list;
+  body : Instr.t array;
+  nregs : int;  (** number of general registers *)
+  npregs : int;  (** number of predicate registers *)
+  smem_bytes : int;  (** static shared memory per CTA, in bytes *)
+  labels : (string, int) Hashtbl.t;  (** label -> pc of its [Label] *)
+}
+
+exception Invalid of string
+(** Raised by [validate], [target], [param_index] and [label_pc] on a
+    malformed kernel. *)
+
+val create :
+  name:string ->
+  params:param list ->
+  nregs:int ->
+  npregs:int ->
+  smem_bytes:int ->
+  Instr.t array ->
+  t
+(** Builds a kernel and indexes its labels.
+    @raise Invalid on duplicate labels. *)
+
+val param_index : t -> string -> int
+(** Position of a named parameter in [params]. @raise Invalid if absent. *)
+
+val label_pc : t -> string -> int
+(** pc of a label. @raise Invalid if absent. *)
+
+val target : t -> int -> int
+(** Branch target pc of the branch instruction at the given pc.
+    @raise Invalid if the pc does not hold a branch. *)
+
+val validate : t -> t
+(** Checks register bounds, branch targets, parameter references and the
+    presence of an [Exit]; returns the kernel unchanged.
+    @raise Invalid with a diagnostic otherwise. *)
+
+val global_load_pcs : t -> int list
+(** pcs of all global-memory loads (including atomics), in order. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

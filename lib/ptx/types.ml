@@ -1,0 +1,227 @@
+(* Core types of the PTX-like virtual ISA.
+
+   The ISA mirrors the subset of NVIDIA PTX that matters for the paper's
+   backward-dataflow load classification and for cycle-level simulation:
+   typed loads/stores over distinct memory spaces, integer/floating ALU
+   operations, SFU transcendentals, predicated branches, barriers and
+   atomics.  Values are carried in 64-bit general registers; floating
+   values are stored as their IEEE-754 bit patterns. *)
+
+type dtype =
+  | U8
+  | S8
+  | U16
+  | S16
+  | U32
+  | S32
+  | U64
+  | S64
+  | F32
+  | F64
+
+type space =
+  | Param
+  | Global
+  | Shared
+  | Local
+  | Const
+  | Tex
+
+type dim = X | Y | Z
+
+(* Special (read-only) registers exposed to every thread. *)
+type sreg =
+  | Tid of dim
+  | Ntid of dim
+  | Ctaid of dim
+  | Nctaid of dim
+  | Laneid
+  | Warpid
+
+type operand =
+  | Reg of int (* general-purpose virtual register *)
+  | Imm of int64
+  | Fimm of float
+  | Sreg of sreg
+
+(* [abase + aoffset] addressing, as in PTX [%r1+8]. *)
+type addr = { abase : operand; aoffset : int }
+
+type iop =
+  | Add
+  | Sub
+  | Mul
+  | Mulhi
+  | Div
+  | Rem
+  | Min
+  | Max
+  | Band
+  | Bor
+  | Bxor
+  | Shl
+  | Shr
+
+type fop =
+  | Fadd
+  | Fsub
+  | Fmul
+  | Fdiv
+  | Fmin
+  | Fmax
+
+type funary =
+  | Sqrt
+  | Rsqrt
+  | Rcp
+  | Sin
+  | Cos
+  | Ex2
+  | Lg2
+
+type cmp =
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+
+type atomop =
+  | Aadd
+  | Amin
+  | Amax
+  | Aexch
+  | Acas
+
+let dtype_size = function
+  | U8 | S8 -> 1
+  | U16 | S16 -> 2
+  | U32 | S32 | F32 -> 4
+  | U64 | S64 | F64 -> 8
+
+let dtype_is_float = function
+  | F32 | F64 -> true
+  | U8 | S8 | U16 | S16 | U32 | S32 | U64 | S64 -> false
+
+let dtype_is_signed = function
+  | S8 | S16 | S32 | S64 -> true
+  | U8 | U16 | U32 | U64 | F32 | F64 -> false
+
+let string_of_dtype = function
+  | U8 -> "u8"
+  | S8 -> "s8"
+  | U16 -> "u16"
+  | S16 -> "s16"
+  | U32 -> "u32"
+  | S32 -> "s32"
+  | U64 -> "u64"
+  | S64 -> "s64"
+  | F32 -> "f32"
+  | F64 -> "f64"
+
+let dtype_of_string = function
+  | "u8" -> U8
+  | "s8" -> S8
+  | "u16" -> U16
+  | "s16" -> S16
+  | "u32" -> U32
+  | "s32" -> S32
+  | "u64" -> U64
+  | "s64" -> S64
+  | "f32" -> F32
+  | "f64" -> F64
+  | s -> invalid_arg ("dtype_of_string: " ^ s)
+
+let string_of_space = function
+  | Param -> "param"
+  | Global -> "global"
+  | Shared -> "shared"
+  | Local -> "local"
+  | Const -> "const"
+  | Tex -> "tex"
+
+let space_of_string = function
+  | "param" -> Param
+  | "global" -> Global
+  | "shared" -> Shared
+  | "local" -> Local
+  | "const" -> Const
+  | "tex" -> Tex
+  | s -> invalid_arg ("space_of_string: " ^ s)
+
+let string_of_dim = function X -> "x" | Y -> "y" | Z -> "z"
+
+let string_of_sreg = function
+  | Tid d -> "%tid." ^ string_of_dim d
+  | Ntid d -> "%ntid." ^ string_of_dim d
+  | Ctaid d -> "%ctaid." ^ string_of_dim d
+  | Nctaid d -> "%nctaid." ^ string_of_dim d
+  | Laneid -> "%laneid"
+  | Warpid -> "%warpid"
+
+let string_of_iop = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul.lo"
+  | Mulhi -> "mul.hi"
+  | Div -> "div"
+  | Rem -> "rem"
+  | Min -> "min"
+  | Max -> "max"
+  | Band -> "and"
+  | Bor -> "or"
+  | Bxor -> "xor"
+  | Shl -> "shl"
+  | Shr -> "shr"
+
+let string_of_fop = function
+  | Fadd -> "add.f"
+  | Fsub -> "sub.f"
+  | Fmul -> "mul.f"
+  | Fdiv -> "div.f"
+  | Fmin -> "min.f"
+  | Fmax -> "max.f"
+
+let string_of_funary = function
+  | Sqrt -> "sqrt"
+  | Rsqrt -> "rsqrt"
+  | Rcp -> "rcp"
+  | Sin -> "sin"
+  | Cos -> "cos"
+  | Ex2 -> "ex2"
+  | Lg2 -> "lg2"
+
+let string_of_cmp = function
+  | Eq -> "eq"
+  | Ne -> "ne"
+  | Lt -> "lt"
+  | Le -> "le"
+  | Gt -> "gt"
+  | Ge -> "ge"
+
+let cmp_of_string = function
+  | "eq" -> Eq
+  | "ne" -> Ne
+  | "lt" -> Lt
+  | "le" -> Le
+  | "gt" -> Gt
+  | "ge" -> Ge
+  | s -> invalid_arg ("cmp_of_string: " ^ s)
+
+let string_of_atomop = function
+  | Aadd -> "add"
+  | Amin -> "min"
+  | Amax -> "max"
+  | Aexch -> "exch"
+  | Acas -> "cas"
+
+let pp_operand ppf = function
+  | Reg r -> Format.fprintf ppf "%%r%d" r
+  | Imm i -> Format.fprintf ppf "%Ld" i
+  | Fimm f -> Format.fprintf ppf "%h" f
+  | Sreg s -> Format.pp_print_string ppf (string_of_sreg s)
+
+let pp_addr ppf { abase; aoffset } =
+  if aoffset = 0 then Format.fprintf ppf "[%a]" pp_operand abase
+  else Format.fprintf ppf "[%a+%d]" pp_operand abase aoffset

@@ -1,0 +1,53 @@
+(** Application descriptors: the 15 benchmarks of the paper's Table I,
+    rewritten in the PTX-like ISA over synthetic datasets. *)
+
+type category = Linear | Image | Graph
+
+val category_name : category -> string
+
+(** Dataset scale: [Small] keeps unit tests fast, [Default] is the
+    bench setting, [Large] stresses the memory system harder. *)
+type scale = Small | Default | Large
+
+val scale_of_string : string -> scale
+(** @raise Invalid_argument on unknown names. *)
+
+(** One run of an application: a global-memory image plus a host driver
+    yielding kernel launches one at a time (matching how CUDA host code
+    loops kernels, e.g. bfs relaunching until the frontier empties).
+    [check] verifies the computation against a host reference after the
+    run completes. *)
+type run = {
+  global : Gsim.Mem.t;
+  next_launch : unit -> Gsim.Launch.t option;
+  check : unit -> bool;
+}
+
+type t = {
+  name : string;
+  category : category;
+  description : string;
+  make : scale -> run;
+}
+
+val single_launch :
+  global:Gsim.Mem.t -> check:(unit -> bool) -> Gsim.Launch.t -> run
+
+val launch_list :
+  global:Gsim.Mem.t ->
+  check:(unit -> bool) ->
+  (unit -> Gsim.Launch.t) list ->
+  run
+(** Plays a fixed list of (lazily built) launches in order. *)
+
+val driven :
+  global:Gsim.Mem.t ->
+  check:(unit -> bool) ->
+  max_iters:int ->
+  (int -> Gsim.Launch.t option) ->
+  run
+(** Host-logic driver: [driver i] returns the i-th launch or [None];
+    bounded by [max_iters] as a safety net. *)
+
+val close_f32 : float -> float -> bool
+(** Approximate equality with f32-appropriate tolerance. *)

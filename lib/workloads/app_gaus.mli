@@ -1,0 +1,4 @@
+(** Table I application: see the implementation header for the
+    algorithm, dataset and load-classification structure. *)
+
+val app : App.t

@@ -1,0 +1,34 @@
+(* Small shared helpers for writing kernels with the builder eDSL. *)
+
+open Ptx.Types
+module B = Ptx.Builder
+
+let u64 n = { Ptx.Kernel.pname = n; pty = U64 }
+let u32 n = { Ptx.Kernel.pname = n; pty = U32 }
+let f32 n = { Ptx.Kernel.pname = n; pty = F32 }
+
+(* Global 1-D / 2-D thread indices. *)
+let gtid_x b = B.mad b B.ctaid_x B.ntid_x B.tid_x
+let gtid_y b = B.mad b B.ctaid_y B.ntid_y B.tid_y
+
+(* An accumulator register initialised to 0.0f; mutate with B.emit. *)
+let f32_acc b =
+  let r = B.fresh_reg b in
+  B.emit b (Ptx.Instr.Mov (r, Fimm 0.0));
+  r
+
+(* Load float at base + 4*idx. *)
+let ldf b base idx = B.ld b Global F32 (B.at b ~base ~scale:4 idx)
+
+(* Load u32 at base + 4*idx. *)
+let ldu b base idx = B.ld b Global U32 (B.at b ~base ~scale:4 idx)
+
+let stf b base idx v = B.st b Global F32 (B.at b ~base ~scale:4 idx) v
+let stu b base idx v = B.st b Global U32 (B.at b ~base ~scale:4 idx) v
+
+(* f32 rounding identical to the simulator's register semantics, for
+   bit-exact host references. *)
+let round_f32 = Gsim.Exec.round_f32
+
+(* ceil-division for grid sizing *)
+let cdiv a b = (a + b - 1) / b

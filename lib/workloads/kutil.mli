@@ -1,0 +1,31 @@
+(** Shared helpers for writing kernels with the builder eDSL. *)
+
+open Ptx.Types
+
+val u64 : string -> Ptx.Kernel.param
+val u32 : string -> Ptx.Kernel.param
+val f32 : string -> Ptx.Kernel.param
+
+val gtid_x : Ptx.Builder.t -> operand
+(** Global 1-D thread index [ctaid.x*ntid.x + tid.x]. *)
+
+val gtid_y : Ptx.Builder.t -> operand
+
+val f32_acc : Ptx.Builder.t -> int
+(** Fresh accumulator register initialised to 0.0f. *)
+
+val ldf : Ptx.Builder.t -> operand -> operand -> operand
+(** Load f32 at [base + 4*idx] from global memory. *)
+
+val ldu : Ptx.Builder.t -> operand -> operand -> operand
+(** Load u32 at [base + 4*idx] from global memory. *)
+
+val stf : Ptx.Builder.t -> operand -> operand -> operand -> unit
+val stu : Ptx.Builder.t -> operand -> operand -> operand -> unit
+
+val round_f32 : float -> float
+(** f32 rounding identical to the simulator's register semantics, for
+    bit-exact host references. *)
+
+val cdiv : int -> int -> int
+(** Ceiling division, for grid sizing. *)

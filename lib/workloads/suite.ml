@@ -1,0 +1,32 @@
+(* Registry of the 15 applications, in Table I order. *)
+
+let all : App.t list =
+  [
+    App_mm2.app;
+    App_gaus.app;
+    App_grm.app;
+    App_lu.app;
+    App_spmv.app;
+    App_htw.app;
+    App_mriq.app;
+    App_dwt.app;
+    App_bpr.app;
+    App_srad.app;
+    App_bfs.app;
+    App_sssp.app;
+    App_ccl.app;
+    App_mst.app;
+    App_mis.app;
+  ]
+
+let find name =
+  match List.find_opt (fun a -> a.App.name = name) all with
+  | Some a -> a
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Suite.find: unknown application %s (have: %s)" name
+           (String.concat ", " (List.map (fun a -> a.App.name) all)))
+
+let by_category cat = List.filter (fun a -> a.App.category = cat) all
+
+let names = List.map (fun a -> a.App.name) all

@@ -1,0 +1,9 @@
+(** Registry of the 15 applications, in the paper's Table I order. *)
+
+val all : App.t list
+
+val find : string -> App.t
+(** @raise Invalid_argument listing the valid names. *)
+
+val by_category : App.category -> App.t list
+val names : string list

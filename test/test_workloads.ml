@@ -1,0 +1,218 @@
+(* Workload-level tests: every application runs to completion under the
+   functional simulator at Small scale and passes its host-reference
+   check; dataset generators satisfy their structural invariants. *)
+
+module App = Workloads.App
+module Dataset = Workloads.Dataset
+module Prng = Workloads.Prng
+
+(* ---------------- per-app end-to-end checks ---------------- *)
+
+let run_app_check (app : App.t) () =
+  let run = app.App.make App.Small in
+  let launches = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    match run.App.next_launch () with
+    | None -> continue_ := false
+    | Some launch ->
+        incr launches;
+        ignore (Gsim.Funcsim.run launch)
+  done;
+  Alcotest.(check bool)
+    (app.App.name ^ " verifies against its host reference")
+    true (run.App.check ());
+  Alcotest.(check bool) "at least one launch" true (!launches > 0)
+
+let app_tests =
+  List.map
+    (fun (app : App.t) ->
+      Alcotest.test_case app.App.name `Quick (run_app_check app))
+    Workloads.Suite.all
+
+(* ---------------- classification expectations ---------------- *)
+
+(* The paper's Fig 1 structure: linear algebra and image processing are
+   (almost) fully deterministic; spmv, srad, htw and the graph codes
+   carry non-deterministic loads. *)
+let expected_has_nondet = function
+  | "spmv" | "srad" | "htw" | "bfs" | "sssp" | "ccl" | "mst" | "mis" -> true
+  | _ -> false
+
+let test_static_classification () =
+  List.iter
+    (fun (app : App.t) ->
+      let r = Critload.Runner.run_func ~check:false app App.Small in
+      let has_n = r.Critload.Runner.fr_static_n > 0 in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s static non-determinism" app.App.name)
+        (expected_has_nondet app.App.name)
+        has_n;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s has deterministic loads too" app.App.name)
+        true
+        (r.Critload.Runner.fr_static_d > 0))
+    Workloads.Suite.all
+
+(* ---------------- suite registry ---------------- *)
+
+let test_suite_registry () =
+  Alcotest.(check int) "15 applications" 15 (List.length Workloads.Suite.all);
+  Alcotest.(check int) "5 linear" 5
+    (List.length (Workloads.Suite.by_category App.Linear));
+  Alcotest.(check int) "5 image" 5
+    (List.length (Workloads.Suite.by_category App.Image));
+  Alcotest.(check int) "5 graph" 5
+    (List.length (Workloads.Suite.by_category App.Graph));
+  Alcotest.(check bool) "find works" true
+    ((Workloads.Suite.find "bfs").App.name = "bfs");
+  Alcotest.check_raises "unknown app"
+    (Invalid_argument
+       "Suite.find: unknown application nope (have: 2mm, gaus, grm, lu, \
+        spmv, htw, mriq, dwt, bpr, srad, bfs, sssp, ccl, mst, mis)")
+    (fun () -> ignore (Workloads.Suite.find "nope"))
+
+(* ---------------- PRNG ---------------- *)
+
+let test_prng_determinism () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next a) (Prng.next b)
+  done;
+  let c = Prng.create 43 in
+  Alcotest.(check bool) "different seed differs" true
+    (Prng.next (Prng.create 42) <> Prng.next c)
+
+let prop_prng_int_range =
+  QCheck.Test.make ~count:500 ~name:"Prng.int stays in range"
+    QCheck.(pair (int_range 1 10_000) small_int)
+    (fun (bound, seed) ->
+      let rng = Prng.create seed in
+      let v = Prng.int rng bound in
+      v >= 0 && v < bound)
+
+let prop_prng_float_range =
+  QCheck.Test.make ~count:500 ~name:"Prng.float in [0,1)"
+    QCheck.small_int
+    (fun seed ->
+      let rng = Prng.create seed in
+      let f = Prng.float rng in
+      f >= 0.0 && f < 1.0)
+
+let prop_shuffle_is_permutation =
+  QCheck.Test.make ~count:200 ~name:"Prng.shuffle permutes"
+    QCheck.(pair small_int (int_range 1 100))
+    (fun (seed, n) ->
+      let rng = Prng.create seed in
+      let arr = Array.init n Fun.id in
+      Prng.shuffle rng arr;
+      let sorted = Array.copy arr in
+      Array.sort compare sorted;
+      sorted = Array.init n Fun.id)
+
+(* ---------------- dataset invariants ---------------- *)
+
+let csr_well_formed (g : Dataset.csr) =
+  let ok = ref (g.Dataset.row_ptr.(0) = 0) in
+  for v = 0 to g.Dataset.n_rows - 1 do
+    if g.Dataset.row_ptr.(v) > g.Dataset.row_ptr.(v + 1) then ok := false
+  done;
+  if g.Dataset.row_ptr.(g.Dataset.n_rows) <> g.Dataset.n_edges then ok := false;
+  Array.iter
+    (fun c -> if c < 0 || c >= g.Dataset.n_rows then ok := false)
+    (Array.sub g.Dataset.col_idx 0 g.Dataset.n_edges);
+  !ok
+
+let prop_rmat_well_formed =
+  QCheck.Test.make ~count:30 ~name:"rmat CSR well-formed"
+    QCheck.(pair small_int (int_range 4 9))
+    (fun (seed, scale) ->
+      let rng = Prng.create seed in
+      let g = Dataset.rmat rng ~scale ~edge_factor:4 in
+      csr_well_formed g && g.Dataset.n_rows = 1 lsl scale)
+
+let prop_symmetrize_doubles_edges =
+  QCheck.Test.make ~count:30 ~name:"symmetrize doubles edge count"
+    QCheck.(pair small_int (int_range 8 64))
+    (fun (seed, n) ->
+      let rng = Prng.create seed in
+      let g = Dataset.uniform_graph rng ~n ~edge_factor:3 in
+      let s = Dataset.symmetrize g in
+      csr_well_formed s && s.Dataset.n_edges = 2 * g.Dataset.n_edges)
+
+let prop_relabel_preserves_degree_multiset =
+  QCheck.Test.make ~count:30 ~name:"relabel preserves degree multiset"
+    QCheck.(pair small_int (int_range 8 64))
+    (fun (seed, n) ->
+      let rng = Prng.create seed in
+      let g = Dataset.uniform_graph rng ~n ~edge_factor:3 in
+      let r = Dataset.relabel rng g in
+      let degrees (x : Dataset.csr) =
+        List.sort compare
+          (List.init x.Dataset.n_rows (fun v ->
+               x.Dataset.row_ptr.(v + 1) - x.Dataset.row_ptr.(v)))
+      in
+      csr_well_formed r && degrees g = degrees r)
+
+let test_rmat_is_skewed () =
+  (* power-law-ish: the max degree should far exceed the average *)
+  let rng = Prng.create 99 in
+  let g = Dataset.rmat rng ~scale:12 ~edge_factor:8 in
+  let max_deg = ref 0 in
+  for v = 0 to g.Dataset.n_rows - 1 do
+    max_deg := max !max_deg (g.Dataset.row_ptr.(v + 1) - g.Dataset.row_ptr.(v))
+  done;
+  let avg = g.Dataset.n_edges / g.Dataset.n_rows in
+  Alcotest.(check bool)
+    (Printf.sprintf "max degree %d >> avg %d" !max_deg avg)
+    true
+    (!max_deg > 8 * avg)
+
+let test_uniform_is_not_skewed () =
+  let rng = Prng.create 99 in
+  let g = Dataset.uniform_graph rng ~n:4096 ~edge_factor:8 in
+  let max_deg = ref 0 in
+  for v = 0 to g.Dataset.n_rows - 1 do
+    max_deg := max !max_deg (g.Dataset.row_ptr.(v + 1) - g.Dataset.row_ptr.(v))
+  done;
+  let avg = g.Dataset.n_edges / g.Dataset.n_rows in
+  Alcotest.(check bool)
+    (Printf.sprintf "max degree %d stays near avg %d" !max_deg avg)
+    true
+    (!max_deg < 8 * avg)
+
+(* ---------------- layout allocator ---------------- *)
+
+let test_layout_alignment () =
+  let mem = Gsim.Mem.create 4096 in
+  let l = Workloads.Layout.create mem in
+  let a = Workloads.Layout.alloc l 4 in
+  let b = Workloads.Layout.alloc l 130 in
+  let c = Workloads.Layout.alloc l 1 in
+  Alcotest.(check int) "first at 0" 0 a;
+  Alcotest.(check int) "second 128-aligned" 128 b;
+  Alcotest.(check int) "third after padded second" 384 c;
+  Alcotest.check_raises "overflow rejected"
+    (Invalid_argument "Layout.alloc: 4096 bytes requested, 3584 available")
+    (fun () -> ignore (Workloads.Layout.alloc l 4000))
+
+let tests =
+  app_tests
+  @ [
+      Alcotest.test_case "static classification per app" `Quick
+        test_static_classification;
+      Alcotest.test_case "suite registry" `Quick test_suite_registry;
+      Alcotest.test_case "prng determinism" `Quick test_prng_determinism;
+      QCheck_alcotest.to_alcotest prop_prng_int_range;
+      QCheck_alcotest.to_alcotest prop_prng_float_range;
+      QCheck_alcotest.to_alcotest prop_shuffle_is_permutation;
+      QCheck_alcotest.to_alcotest prop_rmat_well_formed;
+      QCheck_alcotest.to_alcotest prop_symmetrize_doubles_edges;
+      QCheck_alcotest.to_alcotest prop_relabel_preserves_degree_multiset;
+      Alcotest.test_case "rmat degree skew" `Quick test_rmat_is_skewed;
+      Alcotest.test_case "uniform graph not skewed" `Quick
+        test_uniform_is_not_skewed;
+      Alcotest.test_case "layout alignment" `Quick test_layout_alignment;
+    ]
+
+let () = Alcotest.run "workloads" [ ("workloads", tests) ]
