@@ -10,9 +10,13 @@
      main.exe micro           Bechamel microbenchmarks of the core
                               primitives (classifier, cache, coalescer)
 
+   main.exe --jobs 8 sweep   parallel timing sweep of all 15 apps
+                             (forked workers; writes sweep.json under
+                             --out, table rendered from the JSON)
+
    Experiment ids: table1 table2 table3 fig1..fig12 ablate-split
    ablate-cta ablate-l2 ablate-prefetch ablate-bypass ablate-warpsched
-   ablate-advisor sensitivity micro all *)
+   ablate-advisor sensitivity micro sweep all *)
 
 module E = Critload.Experiments
 
@@ -42,6 +46,65 @@ let experiments scale : (string * (unit -> string)) list =
     ("ablate-advisor", fun () -> E.render_ablate_advisor scale);
     ("sensitivity", fun () -> E.render_sensitivity ());
   ]
+
+(* ---- parallel timing sweep over the whole suite ---- *)
+
+(* Runs every app through the cycle simulator across forked workers and
+   renders the summary table from the JSON that crossed the process
+   boundary — the same schema `critload sweep` writes to disk. *)
+let sweep ~jobs ~scale ~out_dir () =
+  let module P = Critload.Parsweep in
+  let apps =
+    List.map (fun (a : Workloads.App.t) -> a.Workloads.App.name)
+      Workloads.Suite.all
+  in
+  let cfg = E.timing_cfg () in
+  let job_list =
+    P.jobs ~apps ~scales:[ scale ] ~cfgs:[ ("base", cfg) ] ()
+  in
+  let on_event = function
+    | P.Finished (j, dt) ->
+        Printf.eprintf "sweep: %s done in %.1fs\n%!" j.P.sj_app dt
+    | P.Retried (j, reason) ->
+        Printf.eprintf "sweep: %s crashed (%s), retrying\n%!" j.P.sj_app
+          reason
+    | P.Gave_up (j, reason) ->
+        Printf.eprintf "sweep: %s FAILED: %s\n%!" j.P.sj_app reason
+    | P.Started _ -> ()
+  in
+  let outcomes = P.run ~workers:jobs ~timeout:1800. ~on_event job_list in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-6s %10s %10s %8s %8s %8s %8s\n" "app" "cycles"
+       "warpinsts" "req/w N" "req/w D" "L1m% N" "L1m% D");
+  List.iteri
+    (fun i (j : P.job) ->
+      match outcomes.(i) with
+      | P.Failed msg ->
+          Buffer.add_string buf
+            (Printf.sprintf "%-6s FAILED: %s\n" j.P.sj_app msg)
+      | P.Completed payload ->
+          let t = P.timing_summary_of_json payload in
+          let s = t.P.tm_stats in
+          let open Dataflow.Classify in
+          Buffer.add_string buf
+            (Printf.sprintf "%-6s %10d %10d %8.2f %8.2f %8.1f %8.1f\n"
+               j.P.sj_app s.Gsim.Stats.cycles s.Gsim.Stats.warp_insts
+               (Gsim.Stats.requests_per_warp s Nondeterministic)
+               (Gsim.Stats.requests_per_warp s Deterministic)
+               (100. *. Gsim.Stats.l1_miss_ratio s Nondeterministic)
+               (100. *. Gsim.Stats.l1_miss_ratio s Deterministic)))
+    job_list;
+  (match out_dir with
+  | None -> ()
+  | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      let oc = open_out (Filename.concat dir "sweep.json") in
+      Gsim.Stats_io.Json.to_channel oc
+        (P.sweep_to_json ~jobs:job_list ~outcomes);
+      output_char oc '\n';
+      close_out oc);
+  Buffer.contents buf
 
 (* ---- Bechamel microbenchmarks of core primitives ---- *)
 
@@ -130,6 +193,7 @@ let () =
   let scale = ref Workloads.App.Default in
   let cap = ref 0 in
   let out_dir = ref None in
+  let jobs = ref 4 in
   let selected = ref [] in
   let rec parse = function
     | [] -> ()
@@ -141,6 +205,9 @@ let () =
         parse rest
     | "--out" :: dir :: rest ->
         out_dir := Some dir;
+        parse rest
+    | "--jobs" :: n :: rest ->
+        jobs := int_of_string n;
         parse rest
     | x :: rest ->
         selected := x :: !selected;
@@ -158,13 +225,15 @@ let () =
       List.map
         (fun name ->
           if name = "micro" then (name, fun () -> "")
+          else if name = "sweep" then
+            (name, sweep ~jobs:!jobs ~scale:!scale ~out_dir:!out_dir)
           else
             match List.assoc_opt name exps with
             | Some f -> (name, f)
             | None ->
                 failwith
-                  (Printf.sprintf "unknown experiment %s (have: %s, micro)"
-                     name
+                  (Printf.sprintf
+                     "unknown experiment %s (have: %s, micro, sweep)" name
                      (String.concat ", " (List.map fst exps)))
         )
         selected

@@ -5,6 +5,7 @@
      classify <app|file.ptx>     print the load classification
      characterize <app>          functional characterization (Figs 1,9-12)
      simulate <app>              cycle simulation (Figs 2-8 metrics)
+     sweep                       parallel multi-app sweep, JSON export
      list                        list the applications *)
 
 open Cmdliner
@@ -270,6 +271,116 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Cycle-level simulation of one application.")
     Term.(const run $ app_arg $ scale_arg $ cap_arg)
 
+(* ---- sweep (parallel, JSON export) ---- *)
+
+let sweep_cmd =
+  let module P = Critload.Parsweep in
+  let module Json = Gsim.Stats_io.Json in
+  let run apps scale cap jobs timeout func no_warmup out =
+    let apps =
+      match apps with
+      | [] -> List.map (fun (a : Workloads.App.t) -> a.Workloads.App.name)
+                Workloads.Suite.all
+      | l -> l
+    in
+    (* validate names up front for a clean error instead of spawning a
+       pool that fails one job per bad name *)
+    (try List.iter (fun a -> ignore (Workloads.Suite.find a)) apps
+     with Invalid_argument msg ->
+       Printf.eprintf "sweep: %s\n" msg;
+       exit 1);
+    let cfg = { Gsim.Config.default with Gsim.Config.max_warp_insts = cap } in
+    let mode = if func then P.Func else P.Timing in
+    let job_list =
+      P.jobs ~apps ~scales:[ scale ] ~cfgs:[ ("base", cfg) ] ~mode
+        ~warmup:(not no_warmup) ()
+    in
+    let total = List.length job_list in
+    let finished = ref 0 in
+    let tag (j : P.job) =
+      Printf.sprintf "%s (%s, %s)" j.P.sj_app
+        (Workloads.App.string_of_scale j.P.sj_scale)
+        j.P.sj_label
+    in
+    let on_event = function
+      | P.Started (j, attempt) ->
+          Printf.eprintf "sweep: start %s%s\n%!" (tag j)
+            (if attempt > 0 then " (retry)" else "")
+      | P.Finished (j, dt) ->
+          incr finished;
+          Printf.eprintf "sweep: [%d/%d] %s done in %.1fs\n%!" !finished
+            total (tag j) dt
+      | P.Retried (j, reason) ->
+          Printf.eprintf "sweep: %s crashed (%s), retrying\n%!" (tag j) reason
+      | P.Gave_up (j, reason) ->
+          incr finished;
+          Printf.eprintf "sweep: [%d/%d] %s FAILED: %s\n%!" !finished total
+            (tag j) reason
+    in
+    let outcomes = P.run ~workers:jobs ~timeout ~on_event job_list in
+    let doc = P.sweep_to_json ~jobs:job_list ~outcomes in
+    (match out with
+    | "-" ->
+        Json.to_channel stdout doc;
+        print_newline ()
+    | file ->
+        let oc = open_out file in
+        Json.to_channel oc doc;
+        output_char oc '\n';
+        close_out oc;
+        Printf.eprintf "sweep: wrote %s\n%!" file);
+    if Array.exists (function P.Failed _ -> true | _ -> false) outcomes
+    then exit 1
+  in
+  let apps =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "apps" ] ~docv:"APPS"
+          ~doc:"Comma-separated application names (default: all 15).")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 4
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:"Number of concurrent worker processes.")
+  in
+  let timeout =
+    Arg.(
+      value & opt float 600.
+      & info [ "timeout" ] ~docv:"SECS"
+          ~doc:"Per-job wall-clock timeout; an overdue worker is killed \
+                and retried once.")
+  in
+  let func =
+    Arg.(
+      value & flag
+      & info [ "func" ]
+          ~doc:"Run the functional simulator instead of the cycle \
+                simulator.")
+  in
+  let no_warmup =
+    Arg.(
+      value & flag
+      & info [ "no-warmup" ]
+          ~doc:"Skip the functional fast-forward to the first heavy \
+                launch (timing mode).")
+  in
+  let out =
+    Arg.(
+      value & opt string "-"
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:"Output file for the JSON document ('-' for stdout).")
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Run many applications through the simulator in parallel worker \
+          processes and export every per-app statistic as JSON.")
+    Term.(
+      const run $ apps $ scale_arg $ cap_arg $ jobs $ timeout $ func
+      $ no_warmup $ out)
+
 let () =
   let doc =
     "critical-load classification and GPU memory-system characterization"
@@ -278,4 +389,4 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "critload" ~doc)
           [ list_cmd; verify_cmd; classify_cmd; characterize_cmd;
-            advise_cmd; dot_cmd; simulate_cmd ]))
+            advise_cmd; dot_cmd; simulate_cmd; sweep_cmd ]))

@@ -1,0 +1,345 @@
+(* Parallel experiment sweep runner: a fork-based worker pool.
+
+   The parent never serializes jobs — a forked child inherits the job
+   closure — but results always cross back as JSON text over a pipe,
+   the same representation the CLI writes to disk.  The parent
+   multiplexes worker pipes with select, enforces per-job wall-clock
+   deadlines, and retries a crashed or hung worker exactly once; since
+   the simulators are deterministic, a retry reproduces the lost result
+   bit-for-bit. *)
+
+module Json = Gsim.Stats_io.Json
+
+type mode = Func | Timing
+
+type job = {
+  sj_app : string;
+  sj_scale : Workloads.App.scale;
+  sj_label : string;
+  sj_cfg : Gsim.Config.t;
+  sj_mode : mode;
+  sj_warmup : bool;
+}
+
+let job ?(label = "base") ?(cfg = Gsim.Config.default) ?(mode = Timing)
+    ?(warmup = true) ?(scale = Workloads.App.Small) app =
+  {
+    sj_app = app;
+    sj_scale = scale;
+    sj_label = label;
+    sj_cfg = cfg;
+    sj_mode = mode;
+    sj_warmup = warmup;
+  }
+
+let jobs ~apps ~scales ~cfgs ?(mode = Timing) ?(warmup = true) () =
+  List.concat_map
+    (fun app ->
+      List.concat_map
+        (fun scale ->
+          List.map
+            (fun (label, cfg) -> job ~label ~cfg ~mode ~warmup ~scale app)
+            cfgs)
+        scales)
+    apps
+
+let string_of_mode = function Func -> "func" | Timing -> "timing"
+
+(* ---- result summaries ---- *)
+
+type func_summary = {
+  fu_launches : int;
+  fu_ctas : int;
+  fu_threads_per_cta : int;
+  fu_static_d : int;
+  fu_static_n : int;
+  fu_check : bool;
+  fu_warp_insts : int;
+  fu_thread_insts : int;
+  fu_gld_warps : int array;
+  fu_gld_requests : int array;
+  fu_gld_active_threads : int array;
+  fu_shared_load_warps : int;
+  fu_global_store_warps : int;
+  fu_atom_warps : int;
+}
+
+let func_summary (r : Runner.func_result) =
+  let fs = r.Runner.fr_fs in
+  {
+    fu_launches = r.Runner.fr_launches;
+    fu_ctas = r.Runner.fr_ctas;
+    fu_threads_per_cta = r.Runner.fr_threads_per_cta;
+    fu_static_d = r.Runner.fr_static_d;
+    fu_static_n = r.Runner.fr_static_n;
+    fu_check = r.Runner.fr_check;
+    fu_warp_insts = fs.Gsim.Funcsim.warp_insts;
+    fu_thread_insts = fs.Gsim.Funcsim.thread_insts;
+    fu_gld_warps = Array.copy fs.Gsim.Funcsim.gld_warps;
+    fu_gld_requests = Array.copy fs.Gsim.Funcsim.gld_requests;
+    fu_gld_active_threads = Array.copy fs.Gsim.Funcsim.gld_active_threads;
+    fu_shared_load_warps = fs.Gsim.Funcsim.shared_load_warps;
+    fu_global_store_warps = fs.Gsim.Funcsim.global_store_warps;
+    fu_atom_warps = fs.Gsim.Funcsim.atom_warps;
+  }
+
+let int_array_to_json a =
+  Json.Arr (Array.to_list (Array.map (fun i -> Json.Int i) a))
+
+let int_array_of_json v =
+  Array.of_list (List.map Json.get_int (Json.get_list v))
+
+let func_summary_to_json f =
+  Json.Obj
+    [ ("launches", Json.Int f.fu_launches);
+      ("ctas", Json.Int f.fu_ctas);
+      ("threads_per_cta", Json.Int f.fu_threads_per_cta);
+      ("static_d", Json.Int f.fu_static_d);
+      ("static_n", Json.Int f.fu_static_n);
+      ("check", Json.Bool f.fu_check);
+      ("warp_insts", Json.Int f.fu_warp_insts);
+      ("thread_insts", Json.Int f.fu_thread_insts);
+      ("gld_warps", int_array_to_json f.fu_gld_warps);
+      ("gld_requests", int_array_to_json f.fu_gld_requests);
+      ("gld_active_threads", int_array_to_json f.fu_gld_active_threads);
+      ("shared_load_warps", Json.Int f.fu_shared_load_warps);
+      ("global_store_warps", Json.Int f.fu_global_store_warps);
+      ("atom_warps", Json.Int f.fu_atom_warps) ]
+
+let func_summary_of_json v =
+  {
+    fu_launches = Json.int_field "launches" v;
+    fu_ctas = Json.int_field "ctas" v;
+    fu_threads_per_cta = Json.int_field "threads_per_cta" v;
+    fu_static_d = Json.int_field "static_d" v;
+    fu_static_n = Json.int_field "static_n" v;
+    fu_check = Json.get_bool (Json.member "check" v);
+    fu_warp_insts = Json.int_field "warp_insts" v;
+    fu_thread_insts = Json.int_field "thread_insts" v;
+    fu_gld_warps = int_array_of_json (Json.member "gld_warps" v);
+    fu_gld_requests = int_array_of_json (Json.member "gld_requests" v);
+    fu_gld_active_threads =
+      int_array_of_json (Json.member "gld_active_threads" v);
+    fu_shared_load_warps = Json.int_field "shared_load_warps" v;
+    fu_global_store_warps = Json.int_field "global_store_warps" v;
+    fu_atom_warps = Json.int_field "atom_warps" v;
+  }
+
+type timing_summary = { tm_launches : int; tm_stats : Gsim.Stats.t }
+
+let timing_summary (r : Runner.timing_result) =
+  { tm_launches = r.Runner.tr_launches; tm_stats = r.Runner.tr_stats }
+
+let timing_summary_to_json t =
+  Json.Obj
+    [ ("launches", Json.Int t.tm_launches);
+      ("stats", Gsim.Stats_io.stats_to_json t.tm_stats) ]
+
+let timing_summary_of_json v =
+  {
+    tm_launches = Json.int_field "launches" v;
+    tm_stats = Gsim.Stats_io.stats_of_json (Json.member "stats" v);
+  }
+
+(* ---- worker body ---- *)
+
+let exec_job j =
+  let app = Workloads.Suite.find j.sj_app in
+  match j.sj_mode with
+  | Timing ->
+      let r =
+        Runner.run_timing ~cfg:j.sj_cfg ~warmup:j.sj_warmup app j.sj_scale
+      in
+      timing_summary_to_json (timing_summary r)
+  | Func ->
+      let r = Runner.run_func ~cfg:j.sj_cfg ~check:true app j.sj_scale in
+      func_summary_to_json (func_summary r)
+
+(* ---- pool ---- *)
+
+type outcome = Completed of Json.t | Failed of string
+
+type event =
+  | Started of job * int
+  | Finished of job * float
+  | Retried of job * string
+  | Gave_up of job * string
+
+type worker = {
+  w_pid : int;
+  w_index : int;
+  w_attempt : int;
+  w_buf : Buffer.t;
+  w_start : float;
+  w_deadline : float;
+}
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let len = Bytes.length b in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write fd b !off (len - !off)
+  done
+
+(* The child must not replay the parent's buffered output nor run its
+   at_exit handlers, hence the flushes before fork and _exit after. *)
+let spawn ~chaos job_arr index attempt =
+  flush stdout;
+  flush stderr;
+  let rd, wr = Unix.pipe () in
+  match Unix.fork () with
+  | 0 ->
+      Unix.close rd;
+      (try
+         chaos ~job_index:index ~attempt;
+         let envelope =
+           try
+             Json.Obj
+               [ ("status", Json.Str "ok");
+                 ("result", exec_job job_arr.(index)) ]
+           with e ->
+             Json.Obj
+               [ ("status", Json.Str "error");
+                 ("message", Json.Str (Printexc.to_string e)) ]
+         in
+         write_all wr (Json.to_string envelope)
+       with _ -> ());
+      (try Unix.close wr with Unix.Unix_error _ -> ());
+      Unix._exit 0
+  | pid ->
+      Unix.close wr;
+      (rd, pid)
+
+let run ?(workers = 1) ?(timeout = 600.)
+    ?(on_event = fun (_ : event) -> ())
+    ?(chaos = fun ~job_index:_ ~attempt:_ -> ()) job_list =
+  let job_arr = Array.of_list job_list in
+  let n = Array.length job_arr in
+  let results = Array.make n (Failed "never ran") in
+  let workers = max 1 workers in
+  let pending = Queue.create () in
+  Array.iteri (fun i _ -> Queue.add (i, 0) pending) job_arr;
+  let running : (Unix.file_descr, worker) Hashtbl.t = Hashtbl.create 8 in
+  let chunk = Bytes.create 65536 in
+  (* A finished worker either completed, failed deterministically (its
+     own error envelope — retrying cannot help), or crashed / timed
+     out, which earns the single retry. *)
+  let settle w ~crashed reason =
+    let j = job_arr.(w.w_index) in
+    let envelope =
+      if crashed then None
+      else
+        match Json.of_string (Buffer.contents w.w_buf) with
+        | v -> Some v
+        | exception Json.Parse_error _ -> None
+    in
+    match envelope with
+    | Some v when Json.member "status" v = Json.Str "ok" ->
+        results.(w.w_index) <- Completed (Json.member "result" v);
+        on_event (Finished (j, Unix.gettimeofday () -. w.w_start))
+    | Some v ->
+        let msg =
+          match Json.member "message" v with
+          | Json.Str m -> m
+          | _ -> "worker reported an error"
+        in
+        results.(w.w_index) <- Failed msg;
+        on_event (Gave_up (j, msg))
+    | None ->
+        if w.w_attempt = 0 then begin
+          on_event (Retried (j, reason));
+          Queue.add (w.w_index, 1) pending
+        end
+        else begin
+          results.(w.w_index) <- Failed reason;
+          on_event (Gave_up (j, reason))
+        end
+  in
+  let reap fd w ~crashed reason =
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Hashtbl.remove running fd;
+    let crashed =
+      match snd (Unix.waitpid [] w.w_pid) with
+      | Unix.WEXITED 0 -> crashed
+      | _ -> true
+    in
+    settle w ~crashed reason
+  in
+  while Hashtbl.length running > 0 || not (Queue.is_empty pending) do
+    while
+      Hashtbl.length running < workers && not (Queue.is_empty pending)
+    do
+      let index, attempt = Queue.pop pending in
+      let rd, pid = spawn ~chaos job_arr index attempt in
+      let now = Unix.gettimeofday () in
+      Hashtbl.replace running rd
+        {
+          w_pid = pid;
+          w_index = index;
+          w_attempt = attempt;
+          w_buf = Buffer.create 4096;
+          w_start = now;
+          w_deadline = now +. timeout;
+        };
+      on_event (Started (job_arr.(index), attempt))
+    done;
+    let fds = Hashtbl.fold (fun fd _ acc -> fd :: acc) running [] in
+    let now = Unix.gettimeofday () in
+    let next_deadline =
+      Hashtbl.fold
+        (fun _ w acc -> min acc w.w_deadline)
+        running (now +. 0.25)
+    in
+    let sel_timeout = max 0.01 (next_deadline -. now) in
+    let ready, _, _ =
+      try Unix.select fds [] [] sel_timeout
+      with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+    in
+    List.iter
+      (fun fd ->
+        match Hashtbl.find_opt running fd with
+        | None -> ()
+        | Some w -> (
+            match Unix.read fd chunk 0 (Bytes.length chunk) with
+            | 0 -> reap fd w ~crashed:false "worker closed the pipe"
+            | nread -> Buffer.add_subbytes w.w_buf chunk 0 nread
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()))
+      ready;
+    let now = Unix.gettimeofday () in
+    let overdue =
+      Hashtbl.fold
+        (fun fd w acc -> if now > w.w_deadline then (fd, w) :: acc else acc)
+        running []
+    in
+    List.iter
+      (fun (fd, w) ->
+        (try Unix.kill w.w_pid Sys.sigkill
+         with Unix.Unix_error _ -> ());
+        reap fd w ~crashed:true
+          (Printf.sprintf "timeout after %.0fs" timeout))
+      overdue
+  done;
+  results
+
+(* ---- sweep documents ---- *)
+
+let job_envelope j outcome =
+  let base =
+    [ ("app", Json.Str j.sj_app);
+      ("scale", Json.Str (Workloads.App.string_of_scale j.sj_scale));
+      ("label", Json.Str j.sj_label);
+      ("mode", Json.Str (string_of_mode j.sj_mode)) ]
+  in
+  match outcome with
+  | Completed payload ->
+      Json.Obj (base @ [ ("status", Json.Str "ok"); ("result", payload) ])
+  | Failed msg ->
+      Json.Obj (base @ [ ("status", Json.Str "failed"); ("error", Json.Str msg) ])
+
+let sweep_to_json ~jobs ~outcomes =
+  let results =
+    List.mapi (fun i j -> job_envelope j outcomes.(i)) jobs
+  in
+  Json.Obj
+    [ ("schema", Json.Str "critload-sweep-v1"); ("results", Json.Arr results) ]

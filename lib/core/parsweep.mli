@@ -1,0 +1,124 @@
+(** Parallel experiment sweep runner.
+
+    Executes (app x scale x config) jobs across a pool of forked worker
+    processes.  Each worker runs one job and ships its result back over
+    a pipe as JSON (see {!Gsim.Stats_io}), so results survive the
+    process boundary in the same machine-readable form the CLI exports.
+
+    Guarantees:
+    - results come back in job order, regardless of completion order;
+    - a worker that crashes or exceeds the per-job wall-clock timeout
+      is killed and its job retried once on a fresh fork (safe because
+      simulation is deterministic — see the determinism test);
+    - a job that fails twice yields [Failed], never a corrupted or
+      missing slot. *)
+
+type mode =
+  | Func  (** functional simulation ({!Runner.run_func}) *)
+  | Timing  (** cycle simulation ({!Runner.run_timing}) *)
+
+type job = {
+  sj_app : string;  (** application name, resolved via {!Workloads.Suite} *)
+  sj_scale : Workloads.App.scale;
+  sj_label : string;  (** configuration label, e.g. ["base"] *)
+  sj_cfg : Gsim.Config.t;
+  sj_mode : mode;
+  sj_warmup : bool;  (** timing runs: fast-forward past cold launches *)
+}
+
+val job :
+  ?label:string ->
+  ?cfg:Gsim.Config.t ->
+  ?mode:mode ->
+  ?warmup:bool ->
+  ?scale:Workloads.App.scale ->
+  string ->
+  job
+(** [job app] with defaults: label ["base"], default config, [Timing]
+    mode, warmup on, [Small] scale. *)
+
+val jobs :
+  apps:string list ->
+  scales:Workloads.App.scale list ->
+  cfgs:(string * Gsim.Config.t) list ->
+  ?mode:mode ->
+  ?warmup:bool ->
+  unit ->
+  job list
+(** Cross product, ordered app-major (app, then scale, then config). *)
+
+(** {1 Result summaries} *)
+
+(** JSON-portable digest of a functional run. *)
+type func_summary = {
+  fu_launches : int;
+  fu_ctas : int;
+  fu_threads_per_cta : int;
+  fu_static_d : int;
+  fu_static_n : int;
+  fu_check : bool;
+  fu_warp_insts : int;
+  fu_thread_insts : int;
+  fu_gld_warps : int array;  (** by class (D/N) *)
+  fu_gld_requests : int array;
+  fu_gld_active_threads : int array;
+  fu_shared_load_warps : int;
+  fu_global_store_warps : int;
+  fu_atom_warps : int;
+}
+
+val func_summary : Runner.func_result -> func_summary
+val func_summary_to_json : func_summary -> Gsim.Stats_io.Json.t
+
+val func_summary_of_json : Gsim.Stats_io.Json.t -> func_summary
+(** @raise Gsim.Stats_io.Json.Parse_error on schema mismatch. *)
+
+(** JSON-portable digest of a timing run; [tm_stats] round-trips the
+    full {!Gsim.Stats.t}. *)
+type timing_summary = { tm_launches : int; tm_stats : Gsim.Stats.t }
+
+val timing_summary : Runner.timing_result -> timing_summary
+val timing_summary_to_json : timing_summary -> Gsim.Stats_io.Json.t
+
+val timing_summary_of_json : Gsim.Stats_io.Json.t -> timing_summary
+(** @raise Gsim.Stats_io.Json.Parse_error on schema mismatch. *)
+
+(** {1 Execution} *)
+
+type outcome =
+  | Completed of Gsim.Stats_io.Json.t
+      (** the job's result payload (the envelope's ["result"] field) *)
+  | Failed of string  (** error after the retry was also exhausted *)
+
+type event =
+  | Started of job * int  (** attempt number, 0 or 1 *)
+  | Finished of job * float  (** wall-clock seconds *)
+  | Retried of job * string  (** first attempt failed: reason *)
+  | Gave_up of job * string
+
+val exec_job : job -> Gsim.Stats_io.Json.t
+(** Run one job in-process (the code a worker executes) and return its
+    result payload.  Exposed so tests can compare pool output against
+    direct execution. *)
+
+val run :
+  ?workers:int ->
+  ?timeout:float ->
+  ?on_event:(event -> unit) ->
+  ?chaos:(job_index:int -> attempt:int -> unit) ->
+  job list ->
+  outcome array
+(** Run the jobs over [workers] concurrent forked processes (default 1;
+    values < 1 clamp to 1) with a per-job wall-clock [timeout] in
+    seconds (default 600).  The result array is indexed by job order.
+
+    [chaos] runs inside the worker before the job body — a test hook
+    for crash/hang injection (e.g. self-[SIGKILL] on attempt 0); the
+    default does nothing. *)
+
+val job_envelope : job -> outcome -> Gsim.Stats_io.Json.t
+(** Self-describing per-job record: app, scale, label, mode, status and
+    payload — the element type of the sweep file's ["results"] array. *)
+
+val sweep_to_json : jobs:job list -> outcomes:outcome array -> Gsim.Stats_io.Json.t
+(** Whole-sweep document: [{"schema": "critload-sweep-v1", "results": [...]}]. *)

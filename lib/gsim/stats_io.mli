@@ -1,0 +1,85 @@
+(** Machine-readable stats layer: a small in-tree JSON value type with
+    an emitter and parser (no external dependency), plus lossless
+    converters for {!Stats.t} and summaries of
+    {!Dataflow.Classify.result} and {!Config.t}.
+
+    Emission is deterministic: object fields appear in a fixed order
+    and hashtable-backed collections are sorted before printing, so two
+    equal stats values always serialize to byte-identical strings (the
+    invariant the parallel sweep runner's retry logic relies on). *)
+
+(** {1 JSON values} *)
+
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Parse_error of string
+  (** Raised by {!of_string} on malformed input and by the accessors
+      below on schema mismatches. *)
+
+  val to_string : t -> string
+  (** Compact, deterministic rendering (fields in construction order). *)
+
+  val to_channel : out_channel -> t -> unit
+
+  val of_string : string -> t
+  (** @raise Parse_error on malformed input. *)
+
+  (** {2 Schema accessors} — all raise [Parse_error] on mismatch. *)
+
+  val member : string -> t -> t
+  (** Field of an object; [Null] when absent. *)
+
+  val get_int : t -> int
+  val get_float : t -> float
+  (** Accepts both [Int] and [Float]. *)
+
+  val get_bool : t -> bool
+  val get_str : t -> string
+  val get_list : t -> t list
+  val int_field : string -> t -> int
+  val str_field : string -> t -> string
+end
+
+(** {1 Timing statistics} *)
+
+val stats_to_json : Stats.t -> Json.t
+val stats_of_json : Json.t -> Stats.t
+(** Inverse of {!stats_to_json}:
+    [stats_of_json (stats_to_json s)] equals [s] field-for-field, and
+    re-serializing yields a byte-identical string.
+    @raise Json.Parse_error on schema mismatch. *)
+
+(** {1 Configuration} *)
+
+val config_to_json : Config.t -> Json.t
+(** Every scalar knob plus the policy variants, for provenance in sweep
+    outputs (one-way: configs are constructed in-process, not parsed). *)
+
+(** {1 Static classification summaries} *)
+
+type load_summary = {
+  lo_pc : int;
+  lo_space : Ptx.Types.space;
+  lo_class : Dataflow.Classify.load_class;
+  lo_leaves : string list;
+  lo_slice_size : int;
+}
+
+type classify_summary = {
+  cy_kernel : string;
+  cy_static_d : int;  (** deterministic global loads *)
+  cy_static_n : int;
+  cy_loads : load_summary list;  (** every load, in program order *)
+}
+
+val classify_summary : Dataflow.Classify.result -> classify_summary
+val classify_summary_to_json : classify_summary -> Json.t
+val classify_summary_of_json : Json.t -> classify_summary

@@ -24,6 +24,11 @@ let scale_of_string = function
   | "large" -> Large
   | s -> invalid_arg ("App.scale_of_string: " ^ s)
 
+let string_of_scale = function
+  | Small -> "small"
+  | Default -> "default"
+  | Large -> "large"
+
 type run = {
   global : Gsim.Mem.t;
   next_launch : unit -> Gsim.Launch.t option;

@@ -12,6 +12,9 @@ type scale = Small | Default | Large
 val scale_of_string : string -> scale
 (** @raise Invalid_argument on unknown names. *)
 
+val string_of_scale : scale -> string
+(** Inverse of [scale_of_string]; used by the sweep JSON export. *)
+
 (** One run of an application: a global-memory image plus a host driver
     yielding kernel launches one at a time (matching how CUDA host code
     loops kernels, e.g. bfs relaunching until the frontier empties).

@@ -1,0 +1,48 @@
+(* The invariant the parallel sweep runner's retry logic relies on: two
+   cycle-simulation runs of the same (app, scale, config) produce
+   byte-identical serialized statistics, so a retried worker reproduces
+   the lost result exactly.  Also checks that the JSON layer itself is
+   lossless: parse-back followed by re-serialization is the identity on
+   the emitted string. *)
+
+let cap = 8_000
+
+let stats_json app =
+  let cfg =
+    { Gsim.Config.default with Gsim.Config.max_warp_insts = cap }
+  in
+  let a = Workloads.Suite.find app in
+  let r = Critload.Runner.run_timing ~cfg a Workloads.App.Small in
+  Gsim.Stats_io.Json.to_string
+    (Gsim.Stats_io.stats_to_json r.Critload.Runner.tr_stats)
+
+let test_byte_identical app () =
+  let first = stats_json app in
+  let second = stats_json app in
+  Alcotest.(check string)
+    (app ^ ": two timing runs serialize identically")
+    first second;
+  Alcotest.(check bool) "output is non-trivial" true
+    (String.length first > 100)
+
+let test_json_roundtrip_lossless app () =
+  let text = stats_json app in
+  let back =
+    Gsim.Stats_io.stats_of_json (Gsim.Stats_io.Json.of_string text)
+  in
+  Alcotest.(check string)
+    (app ^ ": of_json . to_json is the identity on the wire format")
+    text
+    (Gsim.Stats_io.Json.to_string (Gsim.Stats_io.stats_to_json back))
+
+let () =
+  Alcotest.run "determinism"
+    [ ( "determinism",
+        [ Alcotest.test_case "bfs timing determinism" `Quick
+            (test_byte_identical "bfs");
+          Alcotest.test_case "spmv timing determinism" `Quick
+            (test_byte_identical "spmv");
+          Alcotest.test_case "bfs stats JSON lossless" `Quick
+            (test_json_roundtrip_lossless "bfs");
+          Alcotest.test_case "srad stats JSON lossless" `Quick
+            (test_json_roundtrip_lossless "srad") ] ) ]

@@ -1,0 +1,321 @@
+(* Property-test hardening pass over the coalescer and the PTX
+   printer/parser.
+
+   Coalescer: for arbitrary (mask, address vector) inputs the generated
+   requests must cover every active thread's cache line exactly once,
+   never exceed one request per active thread, and fully-strided warps
+   must collapse to the minimum possible request count.
+
+   PTX: kernels built through the Ptx.Builder eDSL (structured control
+   flow included) must survive print -> parse with an identical
+   instruction stream. *)
+
+open Ptx.Types
+module B = Ptx.Builder
+
+let line_size = 128
+
+(* ---------------- coalescer ---------------- *)
+
+let gen_mask_addrs =
+  QCheck.pair
+    (QCheck.int_bound 0xFFFFFFFF)
+    (QCheck.array_of_size (QCheck.Gen.return 32) (QCheck.int_bound 1_000_000))
+
+let active_lines mask addrs =
+  let out = ref [] in
+  Gsim.Warp.iter_active mask (fun lane ->
+      out := (addrs.(lane) / line_size * line_size) :: !out);
+  List.sort_uniq compare !out
+
+(* every active thread's line appears in the request list exactly once *)
+let prop_cover_each_sector_once =
+  QCheck.Test.make ~count:500
+    ~name:"coalesce: requests cover every active thread's line exactly once"
+    gen_mask_addrs
+    (fun (mask, addrs) ->
+      let reqs = Gsim.Coalesce.lines ~line_size ~mask ~addrs in
+      let no_dups = List.length (List.sort_uniq compare reqs) = List.length reqs in
+      no_dups && List.sort compare reqs = active_lines mask addrs)
+
+let prop_count_at_most_active =
+  QCheck.Test.make ~count:500
+    ~name:"coalesce: request count <= active threads (0 iff none active)"
+    gen_mask_addrs
+    (fun (mask, addrs) ->
+      let n = Gsim.Coalesce.count ~line_size ~mask ~addrs in
+      let active = Gsim.Warp.popcount (mask land 0xFFFFFFFF) in
+      if active = 0 then n = 0 else n >= 1 && n <= active)
+
+(* a fully-strided warp (lane i reads base + i*elem) generates the
+   minimum number of requests: exactly the lines of the touched span *)
+let prop_strided_minimal =
+  QCheck.Test.make ~count:500
+    ~name:"coalesce: fully-strided warps coalesce to the minimum"
+    QCheck.(pair (int_bound 100_000) (oneofl [ 1; 2; 4; 8; 16 ]))
+    (fun (base, elem) ->
+      let addrs = Array.init 32 (fun i -> base + (i * elem)) in
+      let n = Gsim.Coalesce.count ~line_size ~mask:0xFFFFFFFF ~addrs in
+      let first = base / line_size in
+      let last = (base + (31 * elem)) / line_size in
+      n = last - first + 1)
+
+(* splitting never changes the set of lines and never reduces coverage:
+   each sub-warp covers exactly its own lanes' lines *)
+let prop_split_subwarp_coverage =
+  QCheck.Test.make ~count:300
+    ~name:"coalesce: each sub-warp covers exactly its own lanes"
+    gen_mask_addrs
+    (fun (mask, addrs) ->
+      let width = 8 in
+      let groups =
+        Gsim.Coalesce.split_lines ~line_size ~width ~mask ~addrs
+      in
+      (* recompute the expected non-empty sub-warp line sets *)
+      let expected = ref [] in
+      for g = 3 downto 0 do
+        let gmask = mask land (0xFF lsl (g * width)) in
+        if gmask <> 0 then expected := active_lines gmask addrs :: !expected
+      done;
+      List.length groups = List.length !expected
+      && List.for_all2
+           (fun got want -> List.sort compare got = want)
+           groups !expected)
+
+(* ---------------- PTX round-trip via Builder ---------------- *)
+
+(* Random structured kernels: a recursive op language interpreted into
+   Builder calls.  Operand references index a growing pool of values,
+   so every generated program is well-formed by construction. *)
+type rop =
+  | R_iop of iop * int * int
+  | R_fop of fop * int * int
+  | R_funary of funary * int
+  | R_mad of int * int * int
+  | R_cvt of dtype * dtype * int
+  | R_ld of space * dtype * int
+  | R_st of space * dtype * int * int
+  | R_atom of atomop * int * int
+  | R_selp of cmp * int * int
+  | R_if of cmp * int * int * rop list
+  | R_for of int * rop list
+  | R_bar
+
+let gen_rop : rop QCheck.Gen.t =
+  let open QCheck.Gen in
+  let idx = int_bound 1000 in
+  let base =
+    [ ( 4,
+        map3
+          (fun op i j -> R_iop (op, i, j))
+          (oneofl [ Add; Sub; Mul; Mulhi; Div; Rem; Min; Max; Band; Bor;
+                    Bxor; Shl; Shr ])
+          idx idx );
+      ( 2,
+        map3
+          (fun op i j -> R_fop (op, i, j))
+          (oneofl [ Fadd; Fsub; Fmul; Fdiv; Fmin; Fmax ])
+          idx idx );
+      ( 1,
+        map2
+          (fun op i -> R_funary (op, i))
+          (oneofl [ Sqrt; Rsqrt; Rcp; Sin; Cos; Ex2; Lg2 ])
+          idx );
+      (1, map3 (fun i j k -> R_mad (i, j, k)) idx idx idx);
+      ( 1,
+        map3
+          (fun d s i -> R_cvt (d, s, i))
+          (oneofl [ U32; S32; U64; F32; F64 ])
+          (oneofl [ U32; S32; U64; F32; F64 ])
+          idx );
+      ( 2,
+        map3
+          (fun sp ty i -> R_ld (sp, ty, i))
+          (oneofl [ Global; Shared ])
+          (oneofl [ U8; U16; U32; S32; U64; F32; F64 ])
+          idx );
+      ( 2,
+        map3
+          (fun (sp, ty) i j -> R_st (sp, ty, i, j))
+          (pair (oneofl [ Global; Shared ]) (oneofl [ U32; S32; U64; F32 ]))
+          idx idx );
+      ( 1,
+        map3
+          (fun op i j -> R_atom (op, i, j))
+          (oneofl [ Aadd; Amin; Amax; Aexch; Acas ])
+          idx idx );
+      ( 1,
+        map3
+          (fun c i j -> R_selp (c, i, j))
+          (oneofl [ Eq; Ne; Lt; Le; Gt; Ge ])
+          idx idx );
+      (1, return R_bar) ]
+  in
+  let rec gen depth =
+    if depth = 0 then frequency base
+    else
+      frequency
+        (base
+        @ [ ( 2,
+              map3
+                (fun c (i, j) body -> R_if (c, i, j, body))
+                (oneofl [ Eq; Ne; Lt; Le; Gt; Ge ])
+                (pair idx idx)
+                (list_size (int_range 1 5) (gen (depth - 1))) );
+            ( 1,
+              map2
+                (fun trips body -> R_for (trips, body))
+                (int_range 1 4)
+                (list_size (int_range 1 4) (gen (depth - 1))) ) ])
+  in
+  gen 2
+
+let build_kernel ops =
+  let b =
+    B.create ~name:"prop"
+      ~params:[ { Ptx.Kernel.pname = "a"; pty = U64 };
+                { Ptx.Kernel.pname = "n"; pty = U32 } ]
+      ~smem_bytes:256 ()
+  in
+  let ap = B.ld_param b "a" in
+  let n = B.ld_param b "n" in
+  let pool = ref [| B.global_tid b; n; B.int 3; B.float 1.5 |] in
+  let pick i = !pool.(i mod Array.length !pool) in
+  let push v = pool := Array.append !pool [| v |] in
+  let addr_of sp i =
+    (* global addresses hang off the parameter; shared off offset 0 *)
+    match sp with
+    | Global -> B.at b ~base:ap ~scale:8 (pick i)
+    | _ -> B.at b ~base:(B.int 0) ~scale:4 (pick i)
+  in
+  let rec interp op =
+    match op with
+    | R_iop (o, i, j) -> push (B.iop b o (pick i) (pick j))
+    | R_fop (o, i, j) -> push (B.fop b o (pick i) (pick j))
+    | R_funary (o, i) -> push (B.funary b o (pick i))
+    | R_mad (i, j, k) -> push (B.mad b (pick i) (pick j) (pick k))
+    | R_cvt (d, s, i) -> push (B.cvt b ~dst_ty:d ~src_ty:s (pick i))
+    | R_ld (sp, ty, i) -> push (B.ld b sp ty (addr_of sp i))
+    | R_st (sp, ty, i, j) -> B.st b sp ty (addr_of sp i) (pick j)
+    | R_atom (o, i, j) -> push (B.atom b o U32 (addr_of Global i) (pick j))
+    | R_selp (c, i, j) ->
+        let p = B.setp b c (pick i) (pick j) in
+        push (B.selp b (pick i) (pick j) p)
+    | R_if (c, i, j, body) ->
+        let p = B.setp b c (pick i) (pick j) in
+        B.if_ b p (fun () -> List.iter interp body)
+    | R_for (trips, body) ->
+        B.for_loop b ~init:(B.int 0) ~bound:(B.int trips) ~step:(B.int 1)
+          (fun iv ->
+            push iv;
+            List.iter interp body)
+    | R_bar -> B.bar b
+  in
+  List.iter interp ops;
+  B.finish b
+
+let gen_builder_kernel =
+  QCheck.make
+    ~print:(fun ops -> Ptx.Kernel.to_string (build_kernel ops))
+    QCheck.Gen.(list_size (int_range 1 12) gen_rop |> map (fun l -> l))
+
+let same_stream (k1 : Ptx.Kernel.t) (k2 : Ptx.Kernel.t) =
+  k1.Ptx.Kernel.kname = k2.Ptx.Kernel.kname
+  && k1.Ptx.Kernel.params = k2.Ptx.Kernel.params
+  && k1.Ptx.Kernel.nregs = k2.Ptx.Kernel.nregs
+  && k1.Ptx.Kernel.npregs = k2.Ptx.Kernel.npregs
+  && k1.Ptx.Kernel.smem_bytes = k2.Ptx.Kernel.smem_bytes
+  && Array.length k1.Ptx.Kernel.body = Array.length k2.Ptx.Kernel.body
+  && (let same = ref true in
+      Array.iteri
+        (fun pc i ->
+          if i <> k2.Ptx.Kernel.body.(pc) then same := false)
+        k1.Ptx.Kernel.body;
+      !same)
+
+let prop_builder_roundtrip =
+  QCheck.Test.make ~count:150
+    ~name:"ptx: parse of printed builder kernels reproduces the stream"
+    gen_builder_kernel
+    (fun ops ->
+      let k = build_kernel ops in
+      let k2 = Ptx.Parse.kernel_of_string (Ptx.Kernel.to_string k) in
+      same_stream k k2)
+
+(* the classifier must agree on a kernel and its print/parse image —
+   classification is a function of the instruction stream alone *)
+let prop_classification_stable_under_roundtrip =
+  QCheck.Test.make ~count:75
+    ~name:"ptx: load classification survives print/parse"
+    gen_builder_kernel
+    (fun ops ->
+      let k = build_kernel ops in
+      let k2 = Ptx.Parse.kernel_of_string (Ptx.Kernel.to_string k) in
+      let digest k =
+        List.map
+          (fun (li : Dataflow.Classify.load_info) ->
+            ( li.Dataflow.Classify.li_pc,
+              li.Dataflow.Classify.li_space,
+              li.Dataflow.Classify.li_class ))
+          (Dataflow.Classify.classify k).Dataflow.Classify.res_loads
+      in
+      digest k = digest k2)
+
+(* ---------------- JSON emitter/parser ---------------- *)
+
+let gen_json =
+  let open QCheck.Gen in
+  let module J = Gsim.Stats_io.Json in
+  let leaf =
+    frequency
+      [ (2, map (fun i -> J.Int i) (int_range (-1000000) 1000000));
+        (1, map (fun f -> J.Float f) (float_bound_exclusive 1e9));
+        (2, map (fun s -> J.Str s) (string_size ~gen:printable (int_bound 12)));
+        (1, return (J.Bool true));
+        (1, return (J.Bool false));
+        (1, return J.Null) ]
+  in
+  let rec value depth =
+    if depth = 0 then leaf
+    else
+      frequency
+        [ (3, leaf);
+          (1, map (fun l -> J.Arr l) (list_size (int_bound 5) (value (depth - 1))));
+          ( 1,
+            map
+              (fun kvs ->
+                (* object keys must be distinct for round-trip equality *)
+                let seen = Hashtbl.create 8 in
+                J.Obj
+                  (List.filter
+                     (fun (k, _) ->
+                       if Hashtbl.mem seen k then false
+                       else begin
+                         Hashtbl.add seen k ();
+                         true
+                       end)
+                     kvs))
+              (list_size (int_bound 5)
+                 (pair (string_size ~gen:printable (int_bound 8))
+                    (value (depth - 1)))) ) ]
+  in
+  QCheck.make (value 3)
+
+let prop_json_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"json: of_string (to_string v) = v"
+    gen_json
+    (fun v ->
+      let module J = Gsim.Stats_io.Json in
+      J.of_string (J.to_string v) = v)
+
+let tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_cover_each_sector_once;
+      prop_count_at_most_active;
+      prop_strided_minimal;
+      prop_split_subwarp_coverage;
+      prop_builder_roundtrip;
+      prop_classification_stable_under_roundtrip;
+      prop_json_roundtrip ]
+
+let () = Alcotest.run "props" [ ("props", tests) ]
