@@ -70,10 +70,11 @@ let sweep ~jobs ~scale ~out_dir () =
           reason
     | P.Gave_up (j, reason) ->
         Printf.eprintf "sweep: %s FAILED: %s\n%!" j.P.sj_app reason
-    | P.Started _ -> ()
+    | P.Started _ | P.Skipped _ -> ()
   in
   let outcomes = P.run ~workers:jobs ~timeout:1800. ~on_event job_list in
   let buf = Buffer.create 1024 in
+  let truncated = ref 0 in
   Buffer.add_string buf
     (Printf.sprintf "%-6s %10s %10s %8s %8s %8s %8s\n" "app" "cycles"
        "warpinsts" "req/w N" "req/w D" "L1m% N" "L1m% D");
@@ -86,15 +87,23 @@ let sweep ~jobs ~scale ~out_dir () =
       | P.Completed payload ->
           let t = P.timing_summary_of_json payload in
           let s = t.P.tm_stats in
+          if s.Gsim.Stats.truncated then incr truncated;
           let open Dataflow.Classify in
           Buffer.add_string buf
-            (Printf.sprintf "%-6s %10d %10d %8.2f %8.2f %8.1f %8.1f\n"
+            (Printf.sprintf "%-6s %10d %10d %8.2f %8.2f %8.1f %8.1f%s\n"
                j.P.sj_app s.Gsim.Stats.cycles s.Gsim.Stats.warp_insts
                (Gsim.Stats.requests_per_warp s Nondeterministic)
                (Gsim.Stats.requests_per_warp s Deterministic)
                (100. *. Gsim.Stats.l1_miss_ratio s Nondeterministic)
-               (100. *. Gsim.Stats.l1_miss_ratio s Deterministic)))
+               (100. *. Gsim.Stats.l1_miss_ratio s Deterministic)
+               (if s.Gsim.Stats.truncated then "  [truncated]" else "")))
     job_list;
+  if !truncated > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf
+         "note: %d run(s) hit an instruction/cycle cap; their counters \
+          cover only the simulated prefix\n"
+         !truncated);
   (match out_dir with
   | None -> ()
   | Some dir ->

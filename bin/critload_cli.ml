@@ -49,27 +49,108 @@ let list_cmd =
 
 (* ---- verify ---- *)
 
-let verify_cmd =
-  let run scale =
-    let failures = ref 0 in
+(* Distinct kernels of an app, in first-launch order. *)
+let app_kernels name =
+  let app = Workloads.Suite.find name in
+  let run = app.Workloads.App.make Workloads.App.Small in
+  let seen = Hashtbl.create 8 in
+  let acc = ref [] in
+  let continue_ = ref true in
+  while !continue_ do
+    match run.Workloads.App.next_launch () with
+    | None -> continue_ := false
+    | Some launch ->
+        let k = launch.Gsim.Launch.kernel in
+        if not (Hashtbl.mem seen k.Ptx.Kernel.kname) then begin
+          Hashtbl.add seen k.Ptx.Kernel.kname ();
+          acc := k :: !acc
+        end
+  done;
+  List.rev !acc
+
+(* Static verification of one kernel; returns the number of errors. *)
+let verify_kernel_report k =
+  let diags = Dataflow.Verify.verify_kernel k in
+  let errors = Ptx.Verify.errors diags in
+  if diags = [] then
+    Printf.printf "%-14s ok\n" k.Ptx.Kernel.kname
+  else begin
+    Printf.printf "%-14s %d diagnostic(s)\n" k.Ptx.Kernel.kname
+      (List.length diags);
     List.iter
-      (fun (app : Workloads.App.t) ->
-        let t0 = Unix.gettimeofday () in
-        let r = Critload.Runner.run_func ~check:true app scale in
-        let ok = r.Critload.Runner.fr_check in
-        if not ok then incr failures;
-        Printf.printf "%-6s %-4s  %8d warp insts  (%.2fs)\n"
-          app.Workloads.App.name
-          (if ok then "OK" else "FAIL")
-          r.Critload.Runner.fr_fs.Gsim.Funcsim.warp_insts
-          (Unix.gettimeofday () -. t0))
-      Workloads.Suite.all;
-    if !failures > 0 then exit 1
+      (fun d -> Printf.printf "  %s\n" (Ptx.Verify.to_string d))
+      diags
+  end;
+  List.length errors
+
+let verify_cmd =
+  let run target scale =
+    match target with
+    | Some t ->
+        (* static verification only: fast, no simulation *)
+        let kernels =
+          if Sys.file_exists t then begin
+            let ic = open_in t in
+            let text = really_input_string ic (in_channel_length ic) in
+            close_in ic;
+            match Ptx.Parse.kernel_of_string text with
+            | k -> [ k ]
+            | exception Ptx.Parse.Error msg ->
+                Printf.eprintf "verify: parse error in %s: %s\n" t msg;
+                exit 1
+            | exception Ptx.Kernel.Invalid msg ->
+                Printf.eprintf "verify: invalid kernel in %s: %s\n" t msg;
+                exit 1
+          end
+          else
+            match app_kernels t with
+            | ks -> ks
+            | exception Invalid_argument msg ->
+                Printf.eprintf "verify: %s\n" msg;
+                exit 1
+        in
+        let errors =
+          List.fold_left (fun n k -> n + verify_kernel_report k) 0 kernels
+        in
+        if errors > 0 then exit 1
+    | None ->
+        let failures = ref 0 in
+        List.iter
+          (fun (app : Workloads.App.t) ->
+            let t0 = Unix.gettimeofday () in
+            match Critload.Runner.run_func_result ~check:true app scale with
+            | Error e ->
+                incr failures;
+                Printf.printf "%-6s FAIL  %s\n" app.Workloads.App.name
+                  (Gsim.Sim_error.to_string e)
+            | Ok r ->
+                let ok = r.Critload.Runner.fr_check in
+                if not ok then incr failures;
+                Printf.printf "%-6s %-4s  %8d warp insts  (%.2fs)\n"
+                  app.Workloads.App.name
+                  (if ok then "OK" else "FAIL")
+                  r.Critload.Runner.fr_fs.Gsim.Funcsim.warp_insts
+                  (Unix.gettimeofday () -. t0))
+          Workloads.Suite.all;
+        if !failures > 0 then exit 1
+  in
+  let target =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"APP|FILE"
+          ~doc:
+            "Statically verify one application's kernels (or a .ptx \
+             file) and print the diagnostics.  Without it, run every \
+             application functionally and check the results.")
   in
   Cmd.v
     (Cmd.info "verify"
-       ~doc:"Run every application functionally and check the results.")
-    Term.(const run $ scale_arg)
+       ~doc:
+         "Check applications: statically verify one app's kernels, or \
+          (no argument) run the whole suite functionally against the \
+          host references.")
+    Term.(const run $ target $ scale_arg)
 
 (* ---- classify ---- *)
 
@@ -132,7 +213,13 @@ let classify_cmd =
 let characterize_cmd =
   let run name scale =
     let app = Workloads.Suite.find name in
-    let r = Critload.Runner.run_func ~check:false app scale in
+    let r =
+      match Critload.Runner.run_func_result ~check:false app scale with
+      | Ok r -> r
+      | Error e ->
+          Printf.eprintf "characterize: %s\n" (Gsim.Sim_error.to_string e);
+          exit 1
+    in
     let fs = r.Critload.Runner.fr_fs in
     let open Dataflow.Classify in
     Printf.printf "app: %s (%s scale)\n" name
@@ -238,11 +325,22 @@ let simulate_cmd =
   let run name scale cap =
     let app = Workloads.Suite.find name in
     let cfg = { Gsim.Config.default with Gsim.Config.max_warp_insts = cap } in
-    let r = Critload.Runner.run_timing ~cfg app scale in
+    let r =
+      match Critload.Runner.run_timing_result ~cfg app scale with
+      | Ok r -> r
+      | Error e ->
+          Printf.eprintf "simulate: %s\n" (Gsim.Sim_error.to_string e);
+          exit 1
+    in
     let s = r.Critload.Runner.tr_stats in
     let open Dataflow.Classify in
-    Printf.printf "cycles: %d, warp instructions: %d, CTAs completed: %d\n"
-      s.Gsim.Stats.cycles s.Gsim.Stats.warp_insts s.Gsim.Stats.completed_ctas;
+    Printf.printf "cycles: %d, warp instructions: %d, CTAs completed: %d%s\n"
+      s.Gsim.Stats.cycles s.Gsim.Stats.warp_insts s.Gsim.Stats.completed_ctas
+      (if s.Gsim.Stats.truncated then "  [truncated]" else "");
+    if s.Gsim.Stats.truncated then
+      Printf.eprintf
+        "simulate: warning: run truncated by an instruction/cycle cap; \
+         statistics cover only the simulated prefix\n%!";
     List.iter
       (fun (nm, c) ->
         Printf.printf
@@ -276,7 +374,7 @@ let simulate_cmd =
 let sweep_cmd =
   let module P = Critload.Parsweep in
   let module Json = Gsim.Stats_io.Json in
-  let run apps scale cap jobs timeout func no_warmup out =
+  let run apps scale cap jobs timeout func no_warmup out resume =
     let apps =
       match apps with
       | [] -> List.map (fun (a : Workloads.App.t) -> a.Workloads.App.name)
@@ -289,6 +387,12 @@ let sweep_cmd =
      with Invalid_argument msg ->
        Printf.eprintf "sweep: %s\n" msg;
        exit 1);
+    if resume && out = "-" then begin
+      Printf.eprintf
+        "sweep: --resume needs --out FILE (the checkpoint lives next to \
+         it)\n";
+      exit 2
+    end;
     let cfg = { Gsim.Config.default with Gsim.Config.max_warp_insts = cap } in
     let mode = if func then P.Func else P.Timing in
     let job_list =
@@ -316,8 +420,57 @@ let sweep_cmd =
           incr finished;
           Printf.eprintf "sweep: [%d/%d] %s FAILED: %s\n%!" !finished total
             (tag j) reason
+      | P.Skipped j ->
+          incr finished;
+          Printf.eprintf "sweep: [%d/%d] %s skipped (checkpoint)\n%!"
+            !finished total (tag j)
     in
-    let outcomes = P.run ~workers:jobs ~timeout ~on_event job_list in
+    (* Completed jobs restored from the checkpoint are skipped; failed
+       ones get a fresh chance (their failure may have been the crash
+       being resumed from). *)
+    let ckpt_path = out ^ ".partial" in
+    let prefilled =
+      if resume then
+        P.read_checkpoint ckpt_path
+        |> List.filter (fun (_, o) ->
+               match o with P.Completed _ -> true | P.Failed _ -> false)
+      else []
+    in
+    let ckpt_oc =
+      if out = "-" then None
+      else begin
+        (* a fresh (non-resume) run invalidates any stale checkpoint *)
+        let flags =
+          if resume then [ Open_wronly; Open_append; Open_creat ]
+          else [ Open_wronly; Open_trunc; Open_creat ]
+        in
+        Some (open_out_gen flags 0o644 ckpt_path)
+      end
+    in
+    let on_result _i j o =
+      match ckpt_oc with
+      | None -> ()
+      | Some oc ->
+          output_string oc (P.checkpoint_line j o);
+          output_char oc '\n';
+          flush oc
+    in
+    Sys.catch_break true;
+    let outcomes =
+      try P.run ~workers:jobs ~timeout ~on_event ~prefilled ~on_result
+            job_list
+      with Sys.Break ->
+        Option.iter close_out ckpt_oc;
+        (if out = "-" then
+           Printf.eprintf "sweep: interrupted\n%!"
+         else
+           Printf.eprintf
+             "sweep: interrupted; %d/%d result(s) checkpointed in %s — \
+              rerun with --resume to continue\n%!"
+             !finished total ckpt_path);
+        exit 130
+    in
+    Option.iter close_out ckpt_oc;
     let doc = P.sweep_to_json ~jobs:job_list ~outcomes in
     (match out with
     | "-" ->
@@ -328,6 +481,8 @@ let sweep_cmd =
         Json.to_channel oc doc;
         output_char oc '\n';
         close_out oc;
+        (* the full document supersedes the checkpoint *)
+        (try Sys.remove ckpt_path with Sys_error _ -> ());
         Printf.eprintf "sweep: wrote %s\n%!" file);
     if Array.exists (function P.Failed _ -> true | _ -> false) outcomes
     then exit 1
@@ -372,6 +527,17 @@ let sweep_cmd =
       & info [ "out"; "o" ] ~docv:"FILE"
           ~doc:"Output file for the JSON document ('-' for stdout).")
   in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Resume an interrupted sweep: jobs already completed in \
+             FILE.partial (written incrementally alongside --out FILE) \
+             are skipped; everything else, including previously failed \
+             jobs, runs again.  The final document is identical to an \
+             uninterrupted run's.")
+  in
   Cmd.v
     (Cmd.info "sweep"
        ~doc:
@@ -379,7 +545,7 @@ let sweep_cmd =
           processes and export every per-app statistic as JSON.")
     Term.(
       const run $ apps $ scale_arg $ cap_arg $ jobs $ timeout $ func
-      $ no_warmup $ out)
+      $ no_warmup $ out $ resume)
 
 let () =
   let doc =

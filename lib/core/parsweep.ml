@@ -45,6 +45,17 @@ let jobs ~apps ~scales ~cfgs ?(mode = Timing) ?(warmup = true) () =
 
 let string_of_mode = function Func -> "func" | Timing -> "timing"
 
+(* Stable identity of a job across processes: the sweep cross product
+   never repeats an (app, scale, label, mode) combination, so this is
+   unique within one sweep and survives a restart with the same CLI
+   arguments — the property resume rests on. *)
+let job_key j =
+  String.concat "|"
+    [ j.sj_app;
+      Workloads.App.string_of_scale j.sj_scale;
+      j.sj_label;
+      string_of_mode j.sj_mode ]
+
 (* ---- result summaries ---- *)
 
 type func_summary = {
@@ -164,6 +175,12 @@ type event =
   | Finished of job * float
   | Retried of job * string
   | Gave_up of job * string
+  | Skipped of job
+
+(* Raised by a [chaos] hook to make the worker ship deliberately
+   corrupted bytes instead of a result envelope — exercises the
+   parent's parse-failure → retry path. *)
+exception Garble
 
 type worker = {
   w_pid : int;
@@ -192,18 +209,23 @@ let spawn ~chaos job_arr index attempt =
   | 0 ->
       Unix.close rd;
       (try
-         chaos ~job_index:index ~attempt;
-         let envelope =
-           try
-             Json.Obj
-               [ ("status", Json.Str "ok");
-                 ("result", exec_job job_arr.(index)) ]
-           with e ->
-             Json.Obj
-               [ ("status", Json.Str "error");
-                 ("message", Json.Str (Printexc.to_string e)) ]
-         in
-         write_all wr (Json.to_string envelope)
+         match
+           (try chaos ~job_index:index ~attempt; None
+            with Garble -> Some "{\"status\": \"ok\", \"result\": tr")
+         with
+         | Some junk -> write_all wr junk
+         | None ->
+             let envelope =
+               try
+                 Json.Obj
+                   [ ("status", Json.Str "ok");
+                     ("result", exec_job job_arr.(index)) ]
+               with e ->
+                 Json.Obj
+                   [ ("status", Json.Str "error");
+                     ("message", Json.Str (Printexc.to_string e)) ]
+             in
+             write_all wr (Json.to_string envelope)
        with _ -> ());
       (try Unix.close wr with Unix.Unix_error _ -> ());
       Unix._exit 0
@@ -213,18 +235,40 @@ let spawn ~chaos job_arr index attempt =
 
 let run ?(workers = 1) ?(timeout = 600.)
     ?(on_event = fun (_ : event) -> ())
-    ?(chaos = fun ~job_index:_ ~attempt:_ -> ()) job_list =
+    ?(chaos = fun ~job_index:_ ~attempt:_ -> ())
+    ?(prefilled = [])
+    ?(on_result = fun (_ : int) (_ : job) (_ : outcome) -> ())
+    ?abort_after job_list =
   let job_arr = Array.of_list job_list in
   let n = Array.length job_arr in
   let results = Array.make n (Failed "never ran") in
   let workers = max 1 workers in
+  let settled = ref 0 in
+  (* Terminal outcome for job [i]: record it and tell the caller (the
+     checkpoint writer) right away, so a later crash loses at most the
+     in-flight jobs. *)
+  let record i outcome =
+    results.(i) <- outcome;
+    incr settled;
+    on_result i job_arr.(i) outcome
+  in
   let pending = Queue.create () in
-  Array.iteri (fun i _ -> Queue.add (i, 0) pending) job_arr;
+  Array.iteri
+    (fun i j ->
+      match List.assoc_opt (job_key j) prefilled with
+      | Some o ->
+          (* restored from a checkpoint; already on disk, so bypass
+             [record] and do not re-emit it to [on_result] *)
+          results.(i) <- o;
+          incr settled;
+          on_event (Skipped j)
+      | None -> Queue.add (i, 0) pending)
+    job_arr;
   let running : (Unix.file_descr, worker) Hashtbl.t = Hashtbl.create 8 in
   let chunk = Bytes.create 65536 in
   (* A finished worker either completed, failed deterministically (its
      own error envelope — retrying cannot help), or crashed / timed
-     out, which earns the single retry. *)
+     out / shipped garbage, which earns the single retry. *)
   let settle w ~crashed reason =
     let j = job_arr.(w.w_index) in
     let envelope =
@@ -236,7 +280,7 @@ let run ?(workers = 1) ?(timeout = 600.)
     in
     match envelope with
     | Some v when Json.member "status" v = Json.Str "ok" ->
-        results.(w.w_index) <- Completed (Json.member "result" v);
+        record w.w_index (Completed (Json.member "result" v));
         on_event (Finished (j, Unix.gettimeofday () -. w.w_start))
     | Some v ->
         let msg =
@@ -244,7 +288,7 @@ let run ?(workers = 1) ?(timeout = 600.)
           | Json.Str m -> m
           | _ -> "worker reported an error"
         in
-        results.(w.w_index) <- Failed msg;
+        record w.w_index (Failed msg);
         on_event (Gave_up (j, msg))
     | None ->
         if w.w_attempt = 0 then begin
@@ -252,7 +296,7 @@ let run ?(workers = 1) ?(timeout = 600.)
           Queue.add (w.w_index, 1) pending
         end
         else begin
-          results.(w.w_index) <- Failed reason;
+          record w.w_index (Failed reason);
           on_event (Gave_up (j, reason))
         end
   in
@@ -266,60 +310,86 @@ let run ?(workers = 1) ?(timeout = 600.)
     in
     settle w ~crashed reason
   in
-  while Hashtbl.length running > 0 || not (Queue.is_empty pending) do
-    while
-      Hashtbl.length running < workers && not (Queue.is_empty pending)
-    do
-      let index, attempt = Queue.pop pending in
-      let rd, pid = spawn ~chaos job_arr index attempt in
-      let now = Unix.gettimeofday () in
-      Hashtbl.replace running rd
-        {
-          w_pid = pid;
-          w_index = index;
-          w_attempt = attempt;
-          w_buf = Buffer.create 4096;
-          w_start = now;
-          w_deadline = now +. timeout;
-        };
-      on_event (Started (job_arr.(index), attempt))
-    done;
-    let fds = Hashtbl.fold (fun fd _ acc -> fd :: acc) running [] in
-    let now = Unix.gettimeofday () in
-    let next_deadline =
-      Hashtbl.fold
-        (fun _ w acc -> min acc w.w_deadline)
-        running (now +. 0.25)
-    in
-    let sel_timeout = max 0.01 (next_deadline -. now) in
-    let ready, _, _ =
-      try Unix.select fds [] [] sel_timeout
-      with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
-    in
-    List.iter
-      (fun fd ->
-        match Hashtbl.find_opt running fd with
-        | None -> ()
-        | Some w -> (
-            match Unix.read fd chunk 0 (Bytes.length chunk) with
-            | 0 -> reap fd w ~crashed:false "worker closed the pipe"
-            | nread -> Buffer.add_subbytes w.w_buf chunk 0 nread
-            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()))
-      ready;
-    let now = Unix.gettimeofday () in
-    let overdue =
-      Hashtbl.fold
-        (fun fd w acc -> if now > w.w_deadline then (fd, w) :: acc else acc)
-        running []
-    in
-    List.iter
-      (fun (fd, w) ->
-        (try Unix.kill w.w_pid Sys.sigkill
-         with Unix.Unix_error _ -> ());
-        reap fd w ~crashed:true
-          (Printf.sprintf "timeout after %.0fs" timeout))
-      overdue
-  done;
+  (* Kill every in-flight worker without settling its job, so the
+     checkpoint keeps only genuinely finished work and a resume re-runs
+     the rest. *)
+  let kill_all () =
+    Hashtbl.iter
+      (fun fd w ->
+        (try Unix.kill w.w_pid Sys.sigkill with Unix.Unix_error _ -> ());
+        (try ignore (Unix.waitpid [] w.w_pid) with Unix.Unix_error _ -> ());
+        try Unix.close fd with Unix.Unix_error _ -> ())
+      running;
+    Hashtbl.reset running
+  in
+  let abort_hit () =
+    match abort_after with Some k -> !settled >= k | None -> false
+  in
+  (try
+     while
+       (Hashtbl.length running > 0 || not (Queue.is_empty pending))
+       && not (abort_hit ())
+     do
+       while
+         Hashtbl.length running < workers && not (Queue.is_empty pending)
+       do
+         let index, attempt = Queue.pop pending in
+         let rd, pid = spawn ~chaos job_arr index attempt in
+         let now = Unix.gettimeofday () in
+         Hashtbl.replace running rd
+           {
+             w_pid = pid;
+             w_index = index;
+             w_attempt = attempt;
+             w_buf = Buffer.create 4096;
+             w_start = now;
+             w_deadline = now +. timeout;
+           };
+         on_event (Started (job_arr.(index), attempt))
+       done;
+       let fds = Hashtbl.fold (fun fd _ acc -> fd :: acc) running [] in
+       let now = Unix.gettimeofday () in
+       let next_deadline =
+         Hashtbl.fold
+           (fun _ w acc -> min acc w.w_deadline)
+           running (now +. 0.25)
+       in
+       let sel_timeout = max 0.01 (next_deadline -. now) in
+       let ready, _, _ =
+         try Unix.select fds [] [] sel_timeout
+         with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+       in
+       List.iter
+         (fun fd ->
+           match Hashtbl.find_opt running fd with
+           | None -> ()
+           | Some w -> (
+               match Unix.read fd chunk 0 (Bytes.length chunk) with
+               | 0 -> reap fd w ~crashed:false "worker closed the pipe"
+               | nread -> Buffer.add_subbytes w.w_buf chunk 0 nread
+               | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()))
+         ready;
+       let now = Unix.gettimeofday () in
+       let overdue =
+         Hashtbl.fold
+           (fun fd w acc ->
+             if now > w.w_deadline then (fd, w) :: acc else acc)
+           running []
+       in
+       List.iter
+         (fun (fd, w) ->
+           (try Unix.kill w.w_pid Sys.sigkill
+            with Unix.Unix_error _ -> ());
+           reap fd w ~crashed:true
+             (Printf.sprintf "timeout after %.0fs" timeout))
+         overdue
+     done;
+     if abort_hit () then kill_all ()
+   with Sys.Break ->
+     (* ctrl-C: reap the pool before propagating, so no orphan worker
+        keeps simulating after the parent is gone *)
+     kill_all ();
+     raise Sys.Break);
   results
 
 (* ---- sweep documents ---- *)
@@ -343,3 +413,52 @@ let sweep_to_json ~jobs ~outcomes =
   in
   Json.Obj
     [ ("schema", Json.Str "critload-sweep-v1"); ("results", Json.Arr results) ]
+
+(* ---- checkpoints ----
+
+   One JSON line per settled job, appended as results arrive.  The
+   final document is still assembled from the in-memory outcome array
+   in job order, so a resumed sweep emits bytes identical to an
+   uninterrupted one: the checkpoint only decides which jobs are
+   skipped, never the output layout. *)
+
+let outcome_of_envelope v =
+  match Json.member "status" v with
+  | Json.Str "ok" -> Some (Completed (Json.member "result" v))
+  | Json.Str "failed" ->
+      let msg =
+        match Json.member "error" v with Json.Str m -> m | _ -> "failed"
+      in
+      Some (Failed msg)
+  | _ -> None
+
+let checkpoint_line j outcome =
+  Json.to_string
+    (Json.Obj
+       [ ("key", Json.Str (job_key j)); ("envelope", job_envelope j outcome) ])
+
+let read_checkpoint path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    let acc = ref [] in
+    (try
+       while true do
+         let line = input_line ic in
+         if String.trim line <> "" then
+           match Json.of_string line with
+           | v -> (
+               match
+                 ( Json.member "key" v,
+                   outcome_of_envelope (Json.member "envelope" v) )
+               with
+               | Json.Str k, Some o -> acc := (k, o) :: !acc
+               | _ -> ())
+           (* a line cut short by the crash that made the checkpoint
+              matter: drop it, the job simply re-runs *)
+           | exception Json.Parse_error _ -> ()
+       done
+     with End_of_file -> ());
+    close_in ic;
+    List.rev !acc
+  end

@@ -47,6 +47,11 @@ val jobs :
   job list
 (** Cross product, ordered app-major (app, then scale, then config). *)
 
+val job_key : job -> string
+(** Stable identity ["app|scale|label|mode"] — unique within one sweep
+    cross product and reproducible across restarts with the same CLI
+    arguments; the key checkpoints and resume match on. *)
+
 (** {1 Result summaries} *)
 
 (** JSON-portable digest of a functional run. *)
@@ -95,6 +100,12 @@ type event =
   | Finished of job * float  (** wall-clock seconds *)
   | Retried of job * string  (** first attempt failed: reason *)
   | Gave_up of job * string
+  | Skipped of job  (** restored from a checkpoint, not re-run *)
+
+exception Garble
+(** A [chaos] hook may raise this to make its worker ship deliberately
+    corrupted bytes instead of a result envelope, exercising the
+    parent's parse-failure → retry path. *)
 
 val exec_job : job -> Gsim.Stats_io.Json.t
 (** Run one job in-process (the code a worker executes) and return its
@@ -106,6 +117,9 @@ val run :
   ?timeout:float ->
   ?on_event:(event -> unit) ->
   ?chaos:(job_index:int -> attempt:int -> unit) ->
+  ?prefilled:(string * outcome) list ->
+  ?on_result:(int -> job -> outcome -> unit) ->
+  ?abort_after:int ->
   job list ->
   outcome array
 (** Run the jobs over [workers] concurrent forked processes (default 1;
@@ -113,8 +127,24 @@ val run :
     seconds (default 600).  The result array is indexed by job order.
 
     [chaos] runs inside the worker before the job body — a test hook
-    for crash/hang injection (e.g. self-[SIGKILL] on attempt 0); the
-    default does nothing. *)
+    for fault injection (self-[SIGKILL], a hang the timeout must catch,
+    or raising {!Garble}); the default does nothing.
+
+    [prefilled] maps {!job_key}s to already-known outcomes (typically
+    {!read_checkpoint} output): matching jobs are not re-run, their
+    slot is filled directly and [Skipped] is reported.
+
+    [on_result] fires once per job the moment its outcome is final
+    (prefilled jobs excluded) — the checkpoint-append hook.
+
+    [abort_after k] stops the sweep once [k] outcomes are settled
+    (counting prefilled), killing in-flight workers without settling
+    them; remaining slots read [Failed "never ran"].  A test hook
+    simulating a mid-sweep crash.
+
+    On [Sys.Break] the pool is reaped (no orphan workers) and the
+    exception propagates; jobs settled before the interrupt have
+    already reached [on_result]. *)
 
 val job_envelope : job -> outcome -> Gsim.Stats_io.Json.t
 (** Self-describing per-job record: app, scale, label, mode, status and
@@ -122,3 +152,25 @@ val job_envelope : job -> outcome -> Gsim.Stats_io.Json.t
 
 val sweep_to_json : jobs:job list -> outcomes:outcome array -> Gsim.Stats_io.Json.t
 (** Whole-sweep document: [{"schema": "critload-sweep-v1", "results": [...]}]. *)
+
+(** {1 Checkpoints}
+
+    One JSON line per settled job, appended as results arrive.  The
+    final sweep document is still assembled from the in-memory outcome
+    array in job order, so a resumed sweep emits bytes identical to an
+    uninterrupted one — the checkpoint only decides which jobs are
+    skipped, never the output layout. *)
+
+val checkpoint_line : job -> outcome -> string
+(** One checkpoint record (no trailing newline):
+    [{"key": ..., "envelope": <job_envelope>}]. *)
+
+val outcome_of_envelope : Gsim.Stats_io.Json.t -> outcome option
+(** Recover an outcome from a {!job_envelope}; [None] if the status
+    field is unrecognized. *)
+
+val read_checkpoint : string -> (string * outcome) list
+(** Parse a checkpoint file into [(job_key, outcome)] pairs, in file
+    order.  Missing file → [[]]; a final line cut short by the crash
+    that made the checkpoint matter is silently dropped (that job
+    simply re-runs). *)

@@ -126,3 +126,24 @@ let run_timing ?(cfg = Gsim.Config.default) ?(warmup = true)
         incr launches
   done;
   { tr_app = app; tr_stats = stats; tr_launches = !launches; tr_cfg = cfg }
+
+(* Result-returning wrappers: every failure mode a malformed kernel or
+   a simulator bug can produce — static verification, unbound
+   parameters, memory faults, watchdog stalls — arrives as one typed
+   [Sim_error.t] instead of an exception escaping to the caller.
+   Kernel construction and parsing errors are folded into the same
+   type so callers have a single error channel. *)
+
+let catching f =
+  try Ok (f ()) with
+  | Gsim.Sim_error.Error e -> Error e
+  | Ptx.Kernel.Invalid msg ->
+      Error (Gsim.Sim_error.make Gsim.Sim_error.Invalid_kernel "%s" msg)
+  | Ptx.Parse.Error msg ->
+      Error (Gsim.Sim_error.make Gsim.Sim_error.Invalid_kernel "%s" msg)
+
+let run_func_result ?cfg ?max_warp_insts ?check app scale =
+  catching (fun () -> run_func ?cfg ?max_warp_insts ?check app scale)
+
+let run_timing_result ?cfg ?warmup app scale =
+  catching (fun () -> run_timing ?cfg ?warmup app scale)

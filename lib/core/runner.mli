@@ -48,3 +48,23 @@ val run_timing :
     fast-forwards functionally to the first heavy launch — the memory
     image is shared, so simulation resumes exactly there — and
     cycle-simulates from that point until the configured caps. *)
+
+val run_func_result :
+  ?cfg:Gsim.Config.t ->
+  ?max_warp_insts:int ->
+  ?check:bool ->
+  Workloads.App.t ->
+  Workloads.App.scale ->
+  (func_result, Gsim.Sim_error.t) result
+(** [run_func] with every failure mode — static verification, unbound
+    parameters, memory faults, watchdog stalls, kernel construction and
+    parse errors — returned as a structured {!Gsim.Sim_error.t} instead
+    of an exception. *)
+
+val run_timing_result :
+  ?cfg:Gsim.Config.t ->
+  ?warmup:bool ->
+  Workloads.App.t ->
+  Workloads.App.scale ->
+  (timing_result, Gsim.Sim_error.t) result
+(** [run_timing], likewise exception-free. *)

@@ -122,7 +122,9 @@ let exec_cvt ~dst_ty ~src_ty v =
       | U32 -> Int64.logand v 0xFFFFFFFFL
       | S32 -> Int64.of_int32 (Int64.to_int32 v)
       | U64 | S64 -> v
-      | F32 | F64 -> assert false)
+      | F32 | F64 ->
+          Sim_error.error Sim_error.Internal
+            "exec_cvt: float destination in the integer narrowing path")
 
 let exec_cmp c ty a b =
   let r =
@@ -180,7 +182,8 @@ let exec_alu env th (i : Ptx.Instr.t) =
   | Pand (d, a, b) -> th.preds.(d) <- th.preds.(a) && th.preds.(b)
   | Por (d, a, b) -> th.preds.(d) <- th.preds.(a) || th.preds.(b)
   | Ld_param _ | Ld _ | St _ | Atom _ | Bra _ | Bar | Exit | Label _ ->
-      invalid_arg "Exec.exec_alu: not an ALU instruction"
+      Sim_error.error Sim_error.Internal
+        "exec_alu: not an ALU instruction: %s" (Ptx.Instr.to_string i)
 
 (* Functional-unit class, for the Fig 4 occupancy statistics. *)
 type unit_class = SP | SFU | LDST

@@ -19,8 +19,6 @@ type t = {
   mutable cycle : int;
 }
 
-exception Stalled of int
-
 let create_machine ?(cfg = Config.default) ?stats () =
   let stats = match stats with Some s -> s | None -> Stats.create () in
   {
@@ -110,11 +108,36 @@ let step t d =
   Array.iter (fun p -> L2part.cycle p ~now ~icnt:t.icnt) t.parts;
   t.cycle <- t.cycle + 1
 
+(* The stall watchdog fires after this many cycles with no change in
+   the activity fingerprint.  Inspecting the SMs then tells a barrier
+   deadlock (some warp parked at bar.sync forever) from a livelock. *)
+let watchdog_cycles = 200_000
+
+let diagnose_stall t (launch : Launch.t) =
+  let kernel = launch.Launch.kernel.Ptx.Kernel.kname in
+  let waiters =
+    Array.to_list t.sms |> List.concat_map (fun sm -> Sm.barrier_waiters sm)
+  in
+  match waiters with
+  | (cta, warp, pc) :: rest ->
+      Sim_error.error ~kernel ~pc ~cta ~warp ~cycle:t.cycle
+        Sim_error.Barrier_deadlock
+        "warp stuck at a barrier for %d cycles (%d more warp(s) waiting); \
+         the rest of the CTA never arrives — likely a barrier under \
+         divergent control flow"
+        watchdog_cycles (List.length rest)
+  | [] ->
+      Sim_error.error ~kernel ~cycle:t.cycle Sim_error.No_progress
+        "no forward progress for %d cycles: no instruction retired, no \
+         memory request advanced, and no warp is at a barrier"
+        watchdog_cycles
+
 (* Run one kernel launch to completion (or to the caps), keeping cache
    state from prior launches.  Returns false when an instruction/cycle
-   cap stopped the launch early.
-   @raise Stalled when the machine makes no progress for a long time —
-   a simulator bug guard, not an expected outcome. *)
+   cap stopped the launch early (also recorded as [stats.truncated]).
+   @raise Sim_error.Error on barrier deadlock or livelock — a guard
+   against malformed kernels and simulator bugs, not an expected
+   outcome. *)
 let run_launch t ?max_ctas (launch : Launch.t) =
   let threads_per_cta = Launch.threads_per_cta launch in
   let ctas_per_sm =
@@ -146,10 +169,15 @@ let run_launch t ?max_ctas (launch : Launch.t) =
       last_fingerprint := fp;
       last_activity := t.cycle
     end
-    else if t.cycle - !last_activity > 200_000 then raise (Stalled t.cycle)
+    else if t.cycle - !last_activity > watchdog_cycles then
+      diagnose_stall t launch
   done;
   t.stats.Stats.cycles <- t.cycle;
-  not (cap_hit ())
+  if cap_hit () then begin
+    t.stats.Stats.truncated <- true;
+    false
+  end
+  else true
 
 (* Convenience: one launch on a fresh machine. *)
 let run ?cfg ?max_ctas ?stats (launch : Launch.t) =

@@ -14,17 +14,15 @@ type t = {
   mutable cycle : int;
 }
 
-exception Stalled of int
-(** Raised when the machine makes no progress for a long time — a
-    simulator bug guard, not an expected outcome. *)
-
 val create_machine : ?cfg:Config.t -> ?stats:Stats.t -> unit -> t
 
 val run_launch : t -> ?max_ctas:int -> Launch.t -> bool
 (** Run one kernel launch to completion (or to the instruction/cycle
     caps), keeping cache state from prior launches.  Returns false when
-    a cap stopped the launch early.
-    @raise Stalled on livelock. *)
+    a cap stopped the launch early — also recorded as
+    [stats.truncated].
+    @raise Sim_error.Error on barrier deadlock or livelock (the stall
+    watchdog), with kernel / warp / cycle context. *)
 
 val run : ?cfg:Config.t -> ?max_ctas:int -> ?stats:Stats.t -> Launch.t -> t
 (** One launch on a fresh machine. *)

@@ -13,14 +13,27 @@ type t = {
 }
 
 let create ~kernel ~grid ~block ~params ~global =
+  let kname = kernel.Ptx.Kernel.kname in
+  (* Static verification up front: a kernel that fails here would
+     otherwise surface as a confusing runtime fault mid-simulation. *)
+  (match Dataflow.Verify.verify_kernel kernel |> Ptx.Verify.errors with
+  | [] -> ()
+  | errs ->
+      Sim_error.error ~kernel:kname Sim_error.Invalid_kernel
+        "kernel failed verification: %s"
+        (String.concat "; " (List.map Ptx.Verify.to_string errs)));
   let tbl = Hashtbl.create 16 in
   List.iter (fun (k, v) -> Hashtbl.replace tbl k v) params;
   List.iter
     (fun (p : Ptx.Kernel.param) ->
       if not (Hashtbl.mem tbl p.pname) then
-        invalid_arg
-          (Printf.sprintf "Launch.create: parameter %s of kernel %s unbound"
-             p.pname kernel.Ptx.Kernel.kname))
+        let bound =
+          List.map fst params |> List.sort compare |> String.concat ", "
+        in
+        Sim_error.error ~kernel:kname Sim_error.Unbound_param
+          "parameter %s is declared but not bound at launch (bound: %s)"
+          p.pname
+          (if bound = "" then "none" else bound))
     kernel.Ptx.Kernel.params;
   {
     kernel;

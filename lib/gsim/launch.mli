@@ -20,7 +20,9 @@ val create :
   global:Mem.t ->
   t
 (** Classifies the kernel's loads and precomputes reconvergence points.
-    @raise Invalid_argument when a declared parameter is unbound. *)
+    Runs the static verifier ({!Dataflow.Verify.verify_kernel}) first.
+    @raise Sim_error.Error ([Invalid_kernel]) when verification finds
+    errors, or ([Unbound_param]) when a declared parameter is unbound. *)
 
 val n_ctas : t -> int
 val threads_per_cta : t -> int

@@ -11,9 +11,8 @@ let size t = t.size
 
 let check t addr len =
   if addr < 0 || addr + len > t.size then
-    invalid_arg
-      (Printf.sprintf "Mem: access [%d,+%d) out of bounds [0,%d)" addr len
-         t.size)
+    Sim_error.error Sim_error.Mem_fault
+      "access [%d,+%d) out of bounds [0,%d)" addr len t.size
 
 (* All loads zero-extend into the 64-bit register except the signed
    narrow types, which sign-extend (as PTX ld.sN does). *)

@@ -88,7 +88,10 @@ let create (cfg : Config.t) ~id ~stats ~warp_slots =
 (* Resize the warp-slot table for a new launch; caches persist across
    kernel boundaries.  Only legal when no CTAs are resident. *)
 let reconfigure t ~warp_slots =
-  assert (t.residents = []);
+  if t.residents <> [] then
+    Sim_error.error Sim_error.Internal
+      "SM %d reconfigured with %d CTAs still resident" t.id
+      (List.length t.residents);
   if Array.length t.slots <> warp_slots then
     t.slots <- Array.init warp_slots (fun _ -> { warp = None; state = W_empty });
   t.last_issued <- 0
@@ -122,9 +125,15 @@ let try_launch t (launch : Launch.t) ~cta_lin =
       true
 
 let resident_of_slot t slot =
-  List.find
-    (fun rc -> slot >= rc.rc_base && slot < rc.rc_base + rc.rc_nwarps)
-    t.residents
+  match
+    List.find_opt
+      (fun rc -> slot >= rc.rc_base && slot < rc.rc_base + rc.rc_nwarps)
+      t.residents
+  with
+  | Some rc -> rc
+  | None ->
+      Sim_error.error Sim_error.Internal
+        "SM %d: warp slot %d belongs to no resident CTA" t.id slot
 
 (* Barrier release: when every live warp of the CTA is at the barrier,
    set them all ready. *)
@@ -467,7 +476,9 @@ let issue_cycle t ~now =
               | Warp.S_alu Exec.SFU ->
                   t.slots.(i).state <-
                     W_blocked_until (now + t.cfg.Config.sfu_latency)
-              | Warp.S_alu Exec.LDST -> assert false
+              | Warp.S_alu Exec.LDST ->
+                  Sim_error.error Sim_error.Internal
+                    "SM %d slot %d: ALU step reported the LD/ST unit" t.id i
               | Warp.S_mem m -> issue_mem t ~now ~slot_idx:i w m
               | Warp.S_barrier ->
                   t.slots.(i).state <- W_barrier;
@@ -499,3 +510,16 @@ let cycle t ~now ~icnt =
 
 let idle t =
   t.residents = [] && Queue.is_empty t.ldst_q && Queue.is_empty t.hit_pending
+
+(* (cta, warp id, pc) of every warp parked at a barrier — the stall
+   watchdog uses this to tell a barrier deadlock from a livelock. *)
+let barrier_waiters t =
+  let acc = ref [] in
+  Array.iter
+    (fun slot ->
+      match (slot.state, slot.warp) with
+      | W_barrier, Some w ->
+          acc := (w.Warp.cta_lin, w.Warp.warp_id, Warp.pc w) :: !acc
+      | _ -> ())
+    t.slots;
+  List.rev !acc

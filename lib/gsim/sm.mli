@@ -24,3 +24,7 @@ val try_launch : t -> Launch.t -> cta_lin:int -> bool
 
 val cycle : t -> now:int -> icnt:Icnt.t -> unit
 val idle : t -> bool
+
+val barrier_waiters : t -> (int * int * int) list
+(** [(cta, warp, pc)] of every warp parked at a barrier; the stall
+    watchdog uses this to tell a barrier deadlock from a livelock. *)

@@ -92,6 +92,7 @@ type t = {
   mutable completed_ctas : int;
   mutable l2_rsrv_fails : int;
   mutable prefetches_issued : int;
+  mutable truncated : bool; (* a cycle/instruction cap cut the run short *)
 }
 
 let create () =
@@ -109,6 +110,7 @@ let create () =
     completed_ctas = 0;
     l2_rsrv_fails = 0;
     prefetches_issued = 0;
+    truncated = false;
   }
 
 let unit_index = function Exec.SP -> 0 | Exec.SFU -> 1 | Exec.LDST -> 2

@@ -60,6 +60,9 @@ type t = {
   mutable completed_ctas : int;
   mutable l2_rsrv_fails : int;
   mutable prefetches_issued : int;
+  mutable truncated : bool;
+      (** a cycle/instruction cap cut the run short; the counters cover
+          only the simulated prefix *)
 }
 
 val create : unit -> t

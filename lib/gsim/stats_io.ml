@@ -415,7 +415,8 @@ let stats_to_json (s : Stats.t) =
       ("per_pc", Arr per_pc);
       ("completed_ctas", Int s.Stats.completed_ctas);
       ("l2_rsrv_fails", Int s.Stats.l2_rsrv_fails);
-      ("prefetches_issued", Int s.Stats.prefetches_issued) ]
+      ("prefetches_issued", Int s.Stats.prefetches_issued);
+      ("truncated", Bool s.Stats.truncated) ]
 
 let stats_of_json v : Stats.t =
   let per_class =
@@ -449,6 +450,9 @@ let stats_of_json v : Stats.t =
     completed_ctas = int_field "completed_ctas" v;
     l2_rsrv_fails = int_field "l2_rsrv_fails" v;
     prefetches_issued = int_field "prefetches_issued" v;
+    (* absent in pre-truncation documents: default to a clean finish *)
+    truncated =
+      (match member "truncated" v with Null -> false | b -> get_bool b);
   }
 
 (* ---- Config.t (one-way, for provenance) ---- *)

@@ -178,7 +178,7 @@ let peek_unit w =
   | e :: _ -> Exec.unit_of_instr w.kernel.Ptx.Kernel.body.(e.spc)
 
 (* Execute one warp instruction.  Assumes the warp is not finished. *)
-let step w : step_result =
+let step_unguarded w : step_result =
   skip_labels w;
   match w.stack with
   | [] -> S_exit_warp
@@ -189,7 +189,9 @@ let step w : step_result =
       w.warp_insts <- w.warp_insts + 1;
       w.thread_insts <- w.thread_insts + popcount mask;
       match instr with
-      | Ptx.Instr.Label _ -> assert false
+      | Ptx.Instr.Label _ ->
+          Sim_error.error Sim_error.Internal
+            "step reached a label pseudo-instruction"
       | Ptx.Instr.Exit ->
           w.stack <- List.tl w.stack;
           merge w;
@@ -205,7 +207,14 @@ let step w : step_result =
             match Hashtbl.find_opt w.params p with
             | Some v -> v
             | None ->
-                invalid_arg ("Warp.step: unbound kernel parameter " ^ p)
+                let bound =
+                  Hashtbl.fold (fun k _ acc -> k :: acc) w.params []
+                  |> List.sort compare
+                in
+                Sim_error.error Sim_error.Unbound_param
+                  "kernel %s: parameter %s is not bound (bound: %s)"
+                  w.kernel.Ptx.Kernel.kname p
+                  (if bound = [] then "none" else String.concat ", " bound)
           in
           iter_active mask (fun lane -> w.threads.(lane).Exec.regs.(d) <- v);
           advance w (pc + 1);
@@ -252,3 +261,19 @@ let step w : step_result =
               Exec.exec_alu w.env w.threads.(lane) instr);
           advance w (pc + 1);
           S_alu (Exec.unit_of_instr instr))
+
+(* [step_unguarded] with execution context attached to any simulator
+   fault: faulting instructions do not advance the pc, so [pc w] at
+   catch time still names them.  Division by zero (corrupt data feeding
+   div/rem) is promoted to a structured error here too. *)
+let step w : step_result =
+  try step_unguarded w with
+  | Sim_error.Error e ->
+      raise
+        (Sim_error.Error
+           (Sim_error.with_context ~kernel:w.kernel.Ptx.Kernel.kname
+              ~pc:(pc w) ~cta:w.cta_lin ~warp:w.warp_id e))
+  | Division_by_zero ->
+      Sim_error.error ~kernel:w.kernel.Ptx.Kernel.kname ~pc:(pc w)
+        ~cta:w.cta_lin ~warp:w.warp_id Sim_error.Arith_fault
+        "integer division by zero"

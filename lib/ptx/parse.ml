@@ -309,20 +309,29 @@ let parse_decls line =
   | _ -> error "bad declarations: %s" line
 
 let kernel_of_string text =
+  (* keep 1-based source line numbers through comment stripping and
+     blank-line removal, so every error can say where it happened *)
   let lines =
     String.split_on_char '\n' text
-    |> List.map (fun l -> trim (strip_comment l))
-    |> List.filter (fun l -> l <> "")
+    |> List.mapi (fun i l -> (i + 1, trim (strip_comment l)))
+    |> List.filter (fun (_, l) -> l <> "")
+  in
+  (* dtype/space/cmp string conversions raise Invalid_argument; fold
+     them into the same line-attributed parse error *)
+  let at ln f =
+    try f () with
+    | Error msg -> error "line %d: %s" ln msg
+    | Invalid_argument msg -> error "line %d: %s" ln msg
   in
   match lines with
-  | header :: decls :: "{" :: rest ->
-      let name, params = parse_header header in
-      let nregs, npregs, smem_bytes = parse_decls decls in
+  | (hln, header) :: (dln, decls) :: (_, "{") :: rest ->
+      let name, params = at hln (fun () -> parse_header header) in
+      let nregs, npregs, smem_bytes = at dln (fun () -> parse_decls decls) in
       let body = ref [] in
       let rec go = function
         | [] -> error "missing closing '}'"
-        | "}" :: _ -> ()
-        | line :: rest ->
+        | (_, "}") :: _ -> ()
+        | (ln, line) :: rest ->
             let n = String.length line in
             (if n > 0 && line.[n - 1] = ':' then
                body := Instr.Label (String.sub line 0 (n - 1)) :: !body
@@ -331,7 +340,7 @@ let kernel_of_string text =
                  if n > 0 && line.[n - 1] = ';' then String.sub line 0 (n - 1)
                  else line
                in
-               body := parse_instr line :: !body);
+               body := at ln (fun () -> parse_instr line) :: !body);
             go rest
       in
       go rest;

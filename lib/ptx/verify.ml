@@ -1,0 +1,176 @@
+(* Static structural verification of a kernel.
+
+   [Kernel.validate] raises on the first malformed construct it meets;
+   this pass instead walks the whole program and returns every problem
+   as a structured diagnostic, so a caller (CLI, launch path, test
+   harness) can report all of them at once and decide what is fatal.
+
+   The checks here need only the instruction array: register and
+   predicate bounds, branch targets, parameter references, exit
+   reachability and unreachable code.  Dataflow-dependent checks
+   (use-before-def, operand kinds, barriers under divergent control
+   flow) live in [Dataflow.Verify], which layers on top of this
+   module. *)
+
+type severity = Error | Warning
+
+type diag = {
+  d_kernel : string;
+  d_pc : int; (* -1 when the problem is not tied to one instruction *)
+  d_severity : severity;
+  d_code : string; (* stable machine-readable code *)
+  d_msg : string;
+}
+
+let diag ?(severity = Error) ~kernel ~pc ~code fmt =
+  Format.kasprintf
+    (fun msg ->
+      { d_kernel = kernel; d_pc = pc; d_severity = severity; d_code = code;
+        d_msg = msg })
+    fmt
+
+let severity_name = function Error -> "error" | Warning -> "warning"
+
+let to_string d =
+  if d.d_pc < 0 then
+    Printf.sprintf "%s: %s [%s] %s" d.d_kernel (severity_name d.d_severity)
+      d.d_code d.d_msg
+  else
+    Printf.sprintf "%s: pc %d: %s [%s] %s" d.d_kernel d.d_pc
+      (severity_name d.d_severity) d.d_code d.d_msg
+
+let pp ppf d = Format.pp_print_string ppf (to_string d)
+
+let errors = List.filter (fun d -> d.d_severity = Error)
+
+(* ---- individual checks ---- *)
+
+(* Register / predicate indices within the declared files. *)
+let check_bounds (k : Kernel.t) acc =
+  let kernel = k.Kernel.kname in
+  let acc = ref acc in
+  Array.iteri
+    (fun pc instr ->
+      let reg what r =
+        if r < 0 || r >= k.Kernel.nregs then
+          acc :=
+            diag ~kernel ~pc ~code:"register-bounds"
+              "%s register %%r%d outside the declared file [0,%d)" what r
+              k.Kernel.nregs
+            :: !acc
+      in
+      let pred what p =
+        if p < 0 || p >= k.Kernel.npregs then
+          acc :=
+            diag ~kernel ~pc ~code:"predicate-bounds"
+              "%s predicate %%p%d outside the declared file [0,%d)" what p
+              k.Kernel.npregs
+            :: !acc
+      in
+      List.iter (reg "defined") (Instr.defs instr);
+      List.iter (reg "used") (Instr.uses instr);
+      List.iter (pred "defined") (Instr.pdefs instr);
+      List.iter (pred "used") (Instr.puses instr))
+    k.Kernel.body;
+  !acc
+
+(* Every branch target must be a declared label. *)
+let check_branch_targets (k : Kernel.t) acc =
+  let kernel = k.Kernel.kname in
+  let acc = ref acc in
+  Array.iteri
+    (fun pc instr ->
+      match instr with
+      | Instr.Bra (_, l) ->
+          if not (Hashtbl.mem k.Kernel.labels l) then
+            acc :=
+              diag ~kernel ~pc ~code:"unknown-label"
+                "branch to unresolved label %s (known: %s)" l
+                (Hashtbl.fold (fun l' _ a -> l' :: a) k.Kernel.labels []
+                |> List.sort compare |> String.concat ", ")
+              :: !acc
+      | _ -> ())
+    k.Kernel.body;
+  !acc
+
+(* ld.param must name a declared kernel parameter. *)
+let check_params (k : Kernel.t) acc =
+  let kernel = k.Kernel.kname in
+  let declared = List.map (fun p -> p.Kernel.pname) k.Kernel.params in
+  let acc = ref acc in
+  Array.iteri
+    (fun pc instr ->
+      match instr with
+      | Instr.Ld_param (_, p) ->
+          if not (List.mem p declared) then
+            acc :=
+              diag ~kernel ~pc ~code:"unknown-param"
+                "ld.param of undeclared parameter %s (declared: %s)" p
+                (if declared = [] then "none"
+                 else String.concat ", " declared)
+              :: !acc
+      | _ -> ())
+    k.Kernel.body;
+  !acc
+
+(* The program must contain a reachable way to terminate. *)
+let check_exit (k : Kernel.t) acc =
+  if Array.exists Instr.is_exit k.Kernel.body then acc
+  else
+    diag ~kernel:k.Kernel.kname ~pc:(-1) ~code:"no-exit"
+      "no exit instruction anywhere in the body"
+    :: acc
+
+(* Instructions no path from entry can reach (dead stores of the
+   builder, mistyped labels): a warning, not an error. *)
+let check_unreachable (k : Kernel.t) acc =
+  let n = Array.length k.Kernel.body in
+  let reachable = Array.make n false in
+  let rec visit pc =
+    if pc < n && not reachable.(pc) then begin
+      reachable.(pc) <- true;
+      match k.Kernel.body.(pc) with
+      | Instr.Exit -> ()
+      | Instr.Bra (guard, l) -> (
+          (match Hashtbl.find_opt k.Kernel.labels l with
+          | Some t -> visit t
+          | None -> ());
+          match guard with Some _ -> visit (pc + 1) | None -> ())
+      | _ -> visit (pc + 1)
+    end
+  in
+  if n > 0 then visit 0;
+  let acc = ref acc in
+  Array.iteri
+    (fun pc r ->
+      if not r then
+        acc :=
+          diag ~severity:Warning ~kernel:k.Kernel.kname ~pc
+            ~code:"unreachable" "unreachable instruction: %s"
+            (Instr.to_string k.Kernel.body.(pc))
+          :: !acc)
+    reachable;
+  !acc
+
+(* ---- entry point ---- *)
+
+(* Structural pass.  The result is in program order; [errors] filters
+   the fatal subset.  Dataflow checks require a structurally sound
+   kernel, so callers must run (and act on) this pass first. *)
+let structural (k : Kernel.t) : diag list =
+  let acc = [] in
+  let acc =
+    if Array.length k.Kernel.body = 0 then
+      [ diag ~kernel:k.Kernel.kname ~pc:(-1) ~code:"empty-body"
+          "kernel body is empty" ]
+    else acc
+  in
+  if acc <> [] then acc
+  else
+    []
+    |> check_bounds k
+    |> check_branch_targets k
+    |> check_params k
+    |> check_exit k
+    |> check_unreachable k
+    |> List.rev

@@ -1,0 +1,36 @@
+(** Static structural verification of a kernel.
+
+    Unlike {!Kernel.validate}, which raises on the first malformed
+    construct, this pass walks the whole program and returns every
+    problem as a structured diagnostic.  Dataflow-dependent checks
+    (use-before-def, operand kinds, divergent barriers) layer on top in
+    [Dataflow.Verify]. *)
+
+type severity = Error | Warning
+
+type diag = {
+  d_kernel : string;
+  d_pc : int;  (** -1 when not tied to one instruction *)
+  d_severity : severity;
+  d_code : string;  (** stable machine-readable code *)
+  d_msg : string;
+}
+
+val diag :
+  ?severity:severity ->
+  kernel:string ->
+  pc:int ->
+  code:string ->
+  ('a, Format.formatter, unit, diag) format4 ->
+  'a
+
+val severity_name : severity -> string
+val to_string : diag -> string
+val pp : Format.formatter -> diag -> unit
+
+val errors : diag list -> diag list
+(** The fatal subset. *)
+
+val structural : Kernel.t -> diag list
+(** Register/predicate bounds, branch targets, parameter references,
+    exit reachability, unreachable code.  Program order. *)

@@ -35,6 +35,36 @@ let test_json_roundtrip_lossless app () =
     text
     (Gsim.Stats_io.Json.to_string (Gsim.Stats_io.stats_to_json back))
 
+(* an instruction cap marks the run truncated and the flag survives the
+   wire format *)
+let test_truncated_flag () =
+  let cfg = { Gsim.Config.default with Gsim.Config.max_warp_insts = 500 } in
+  let a = Workloads.Suite.find "bfs" in
+  let r =
+    Critload.Runner.run_timing ~cfg ~warmup:false a Workloads.App.Small
+  in
+  Alcotest.(check bool) "capped run is marked truncated" true
+    r.Critload.Runner.tr_stats.Gsim.Stats.truncated;
+  let text =
+    Gsim.Stats_io.Json.to_string
+      (Gsim.Stats_io.stats_to_json r.Critload.Runner.tr_stats)
+  in
+  let back = Gsim.Stats_io.stats_of_json (Gsim.Stats_io.Json.of_string text) in
+  Alcotest.(check bool) "flag round-trips through JSON" true
+    back.Gsim.Stats.truncated
+
+(* documents written before the flag existed parse as a clean finish *)
+let test_truncated_absent_defaults_false () =
+  let module Json = Gsim.Stats_io.Json in
+  let stripped =
+    match Gsim.Stats_io.stats_to_json (Gsim.Stats.create ()) with
+    | Json.Obj fields ->
+        Json.Obj (List.filter (fun (k, _) -> k <> "truncated") fields)
+    | _ -> Alcotest.fail "stats document is not an object"
+  in
+  Alcotest.(check bool) "missing field reads as not truncated" false
+    (Gsim.Stats_io.stats_of_json stripped).Gsim.Stats.truncated
+
 let () =
   Alcotest.run "determinism"
     [ ( "determinism",
@@ -45,4 +75,8 @@ let () =
           Alcotest.test_case "bfs stats JSON lossless" `Quick
             (test_json_roundtrip_lossless "bfs");
           Alcotest.test_case "srad stats JSON lossless" `Quick
-            (test_json_roundtrip_lossless "srad") ] ) ]
+            (test_json_roundtrip_lossless "srad");
+          Alcotest.test_case "cap sets + round-trips truncated" `Quick
+            test_truncated_flag;
+          Alcotest.test_case "absent truncated field defaults false" `Quick
+            test_truncated_absent_defaults_false ] ) ]

@@ -126,14 +126,31 @@ let test_mem_typed_access () =
   Gsim.Mem.set_i64 m 24 Int64.min_int;
   Alcotest.(check int64) "i64 round-trip" Int64.min_int (Gsim.Mem.get_i64 m 24)
 
+(* out-of-bounds accesses raise a structured mem-fault, not a bare
+   Invalid_argument *)
 let test_mem_bounds () =
   let m = Gsim.Mem.create 16 in
-  Alcotest.check_raises "read past end"
-    (Invalid_argument "Mem: access [13,+4) out of bounds [0,16)") (fun () ->
-      ignore (Gsim.Mem.load m U32 13));
-  Alcotest.check_raises "negative address"
-    (Invalid_argument "Mem: access [-1,+1) out of bounds [0,16)") (fun () ->
-      ignore (Gsim.Mem.load m U8 (-1)))
+  let expect_fault name range f =
+    match f () with
+    | _ -> Alcotest.failf "%s: expected a mem fault" name
+    | exception Gsim.Sim_error.Error e ->
+        Alcotest.(check bool) (name ^ ": kind") true
+          (e.Gsim.Sim_error.e_kind = Gsim.Sim_error.Mem_fault);
+        let msg = Gsim.Sim_error.to_string e in
+        let contains sub =
+          let n = String.length sub and l = String.length msg in
+          let rec go i =
+            i + n <= l && (String.sub msg i n = sub || go (i + 1))
+          in
+          go 0
+        in
+        Alcotest.(check bool) (name ^ ": names the range") true
+          (contains range)
+  in
+  expect_fault "read past end" "[13,+4)" (fun () ->
+      Gsim.Mem.load m U32 13);
+  expect_fault "negative address" "[-1,+1)" (fun () ->
+      Gsim.Mem.load m U8 (-1))
 
 let prop_mem_roundtrip_f32 =
   QCheck.Test.make ~count:300 ~name:"f32 memory round-trip"

@@ -91,6 +91,75 @@ let test_hung_worker_timed_out () =
   | P.Completed _ -> ()
   | P.Failed msg -> Alcotest.failf "retry did not recover: %s" msg
 
+(* a worker that ships corrupted bytes instead of a result envelope is
+   indistinguishable from a crash: retried once, then identical to a
+   clean run *)
+let test_garbled_worker_retried () =
+  let jobs = mk_jobs [ "2mm"; "gaus" ] in
+  let retries = ref [] in
+  let chaos ~job_index ~attempt =
+    if job_index = 1 && attempt = 0 then raise P.Garble
+  in
+  let on_event = function
+    | P.Retried (j, _) -> retries := j.P.sj_app :: !retries
+    | _ -> ()
+  in
+  let chaotic = P.run ~workers:2 ~timeout:300. ~on_event ~chaos jobs in
+  let clean = P.run ~workers:2 ~timeout:300. jobs in
+  Alcotest.(check (list string)) "exactly the garbled job retried" [ "gaus" ]
+    !retries;
+  List.iteri
+    (fun i j ->
+      let name = j.P.sj_app in
+      Alcotest.(check string)
+        (name ^ ": garbled run matches clean run")
+        (Json.to_string (payload_exn name clean.(i)))
+        (Json.to_string (payload_exn name chaotic.(i))))
+    jobs
+
+(* a sweep aborted mid-run leaves a checkpoint from which a resumed
+   sweep reconstructs the uninterrupted document byte-for-byte — even
+   with a trailing checkpoint line cut short by the "crash" *)
+let test_abort_resume_byte_identical () =
+  let jobs = mk_jobs apps4 in
+  let ckpt = Filename.temp_file "critload-ckpt" ".partial" in
+  let oc = open_out ckpt in
+  let on_result _i j o =
+    output_string oc (P.checkpoint_line j o);
+    output_char oc '\n';
+    flush oc
+  in
+  let partial =
+    P.run ~workers:2 ~timeout:300. ~on_result ~abort_after:2 jobs
+  in
+  let settled =
+    Array.to_list partial
+    |> List.filter (function P.Completed _ -> true | P.Failed _ -> false)
+    |> List.length
+  in
+  Alcotest.(check bool) "abort stopped the sweep early" true
+    (settled >= 2 && settled < List.length jobs);
+  (* the write the crash interrupted *)
+  output_string oc "{\"key\": \"half-a-rec";
+  close_out oc;
+  let prefilled =
+    P.read_checkpoint ckpt
+    |> List.filter (fun (_, o) ->
+           match o with P.Completed _ -> true | P.Failed _ -> false)
+  in
+  Alcotest.(check int) "checkpoint holds exactly the settled jobs" settled
+    (List.length prefilled);
+  let skipped = ref 0 in
+  let on_event = function P.Skipped _ -> incr skipped | _ -> () in
+  let resumed = P.run ~workers:2 ~timeout:300. ~prefilled ~on_event jobs in
+  Alcotest.(check int) "every checkpointed job was skipped" settled !skipped;
+  let clean = P.run ~workers:1 ~timeout:300. jobs in
+  Alcotest.(check string)
+    "resumed document byte-identical to an uninterrupted jobs-1 run"
+    (Json.to_string (P.sweep_to_json ~jobs ~outcomes:clean))
+    (Json.to_string (P.sweep_to_json ~jobs ~outcomes:resumed));
+  Sys.remove ckpt
+
 (* an in-job exception is a deterministic failure: reported, not
    retried *)
 let test_deterministic_failure_not_retried () =
@@ -149,6 +218,10 @@ let () =
             test_killed_worker_retried;
           Alcotest.test_case "hung worker timed out + retried" `Quick
             test_hung_worker_timed_out;
+          Alcotest.test_case "garbled worker retried" `Quick
+            test_garbled_worker_retried;
+          Alcotest.test_case "abort + resume byte-identical" `Quick
+            test_abort_resume_byte_identical;
           Alcotest.test_case "deterministic failure not retried" `Quick
             test_deterministic_failure_not_retried;
           Alcotest.test_case "func mode round-trip" `Quick

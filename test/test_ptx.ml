@@ -302,9 +302,38 @@ let prop_branches_have_reconvergence =
         k.Ptx.Kernel.body;
       !ok)
 
+(* Parse errors carry the 1-based source line and the offending token,
+   even with comments and blank lines above the bad line. *)
+let test_parse_error_line_numbers () =
+  let text =
+    String.concat "\n"
+      [ ".kernel k (.param .u64 a)";
+        "// a comment line";
+        ".reg 4 .pred 1 .shared 0";
+        "{";
+        "";
+        "  mov %r0, %r1;";
+        "  mov %bogus, %r0;";
+        "  exit;";
+        "}" ]
+  in
+  match Ptx.Parse.kernel_of_string text with
+  | _ -> Alcotest.fail "expected a parse error"
+  | exception Ptx.Parse.Error msg ->
+      let contains sub =
+        let n = String.length sub and m = String.length msg in
+        let rec go i = i + n <= m && (String.sub msg i n = sub || go (i + 1)) in
+        if not (go 0) then
+          Alcotest.failf "error %S does not mention %S" msg sub
+      in
+      contains "line 7";
+      contains "%bogus"
+
 let tests =
   [
     Alcotest.test_case "builder basics" `Quick test_builder_basic;
+    Alcotest.test_case "parse error: line number + token" `Quick
+      test_parse_error_line_numbers;
     Alcotest.test_case "validation: bad label" `Quick
       test_validation_catches_bad_label;
     Alcotest.test_case "validation: bad register" `Quick

@@ -1,0 +1,193 @@
+(* Tests for the static kernel verifier (Ptx.Verify + Dataflow.Verify):
+   every shipped workload kernel must verify clean, and a table of
+   hand-built bad kernels must each produce the expected diagnostic. *)
+
+open Ptx.Types
+module Instr = Ptx.Instr
+module V = Ptx.Verify
+
+let diag_codes k =
+  List.map (fun (d : V.diag) -> d.V.d_code) (Dataflow.Verify.verify_kernel k)
+
+let has_code code k = List.mem code (diag_codes k)
+
+(* ---- golden: the whole suite verifies clean ---- *)
+
+(* Every distinct kernel launched by every workload, at small scale. *)
+let suite_kernels () =
+  let seen = Hashtbl.create 32 in
+  let kernels = ref [] in
+  List.iter
+    (fun (app : Workloads.App.t) ->
+      let run = app.Workloads.App.make Workloads.App.Small in
+      let continue_ = ref true in
+      while !continue_ do
+        match run.Workloads.App.next_launch () with
+        | None -> continue_ := false
+        | Some launch ->
+            let k = launch.Gsim.Launch.kernel in
+            if not (Hashtbl.mem seen k.Ptx.Kernel.kname) then begin
+              Hashtbl.add seen k.Ptx.Kernel.kname ();
+              kernels := k :: !kernels
+            end
+      done)
+    Workloads.Suite.all;
+  List.rev !kernels
+
+let test_suite_clean () =
+  let kernels = suite_kernels () in
+  Alcotest.(check bool) "found a non-trivial kernel set" true
+    (List.length kernels >= 15);
+  List.iter
+    (fun (k : Ptx.Kernel.t) ->
+      let diags = Dataflow.Verify.verify_kernel k in
+      Alcotest.(check (list string))
+        (Printf.sprintf "kernel %s verifies clean" k.Ptx.Kernel.kname)
+        []
+        (List.map V.to_string diags))
+    kernels
+
+(* ---- hand-built bad kernels ---- *)
+
+let mk ?(params = []) ?(nregs = 8) ?(npregs = 4) body =
+  (* Kernel.create bypasses Kernel.validate's exceptions so broken
+     programs can reach the verifier *)
+  Ptx.Kernel.create ~name:"bad" ~params ~nregs ~npregs ~smem_bytes:0
+    (Array.of_list body)
+
+let test_use_before_def () =
+  let k =
+    mk [ Instr.Iop (Add, 0, Reg 1, Imm 1L); Instr.Exit ]
+  in
+  Alcotest.(check bool) "undefined register flagged" true
+    (has_code "use-before-def" k)
+
+let test_use_before_def_pred () =
+  let k = mk [ Instr.Bra (Some (true, 0), "l"); Instr.Label "l"; Instr.Exit ] in
+  Alcotest.(check bool) "undefined predicate flagged" true
+    (has_code "use-before-def" k)
+
+let test_bad_branch_target () =
+  let k = mk [ Instr.Bra (None, "nowhere"); Instr.Exit ] in
+  Alcotest.(check bool) "unresolved label flagged" true
+    (has_code "unknown-label" k)
+
+let test_missing_param () =
+  let k = mk [ Instr.Ld_param (0, "missing"); Instr.Exit ] in
+  Alcotest.(check bool) "undeclared parameter flagged" true
+    (has_code "unknown-param" k)
+
+let test_register_bounds () =
+  let k = mk ~nregs:2 [ Instr.Mov (7, Imm 0L); Instr.Exit ] in
+  Alcotest.(check bool) "out-of-range register flagged" true
+    (has_code "register-bounds" k)
+
+let test_no_exit () =
+  let k = mk [ Instr.Mov (0, Imm 0L) ] in
+  Alcotest.(check bool) "missing exit flagged" true (has_code "no-exit" k)
+
+let test_unreachable_warns () =
+  let k =
+    mk
+      [ Instr.Bra (None, "l"); Instr.Mov (0, Imm 0L); Instr.Label "l";
+        Instr.Exit ]
+  in
+  let diags = Dataflow.Verify.verify_kernel k in
+  Alcotest.(check bool) "dead code warned" true
+    (List.exists
+       (fun (d : V.diag) ->
+         d.V.d_code = "unreachable" && d.V.d_severity = V.Warning)
+       diags);
+  Alcotest.(check bool) "dead code is not an error" true
+    (V.errors diags = [])
+
+let test_float_address () =
+  let k =
+    mk
+      [ Instr.Fop (Fadd, F32, 0, Fimm 1.0, Fimm 2.0);
+        Instr.Ld (Global, U32, 1, { abase = Reg 0; aoffset = 0 });
+        Instr.Exit ]
+  in
+  Alcotest.(check bool) "float-valued address base flagged" true
+    (has_code "float-address" k)
+
+(* bar.sync inside a tid-guarded arm: part of the warp branches around
+   the barrier and the rest waits forever *)
+let test_divergent_barrier () =
+  let k =
+    mk
+      [ Instr.Mov (0, Sreg (Tid X));
+        Instr.Setp (Eq, U32, 0, Reg 0, Imm 0L);
+        Instr.Bra (Some (false, 0), "skip");
+        Instr.Bar;
+        Instr.Label "skip";
+        Instr.Exit ]
+  in
+  Alcotest.(check bool) "divergent barrier flagged" true
+    (has_code "divergent-barrier" k)
+
+(* the same shape with a block-uniform guard (ctaid) is fine *)
+let test_uniform_barrier_clean () =
+  let k =
+    mk
+      [ Instr.Mov (0, Sreg (Ctaid X));
+        Instr.Setp (Eq, U32, 0, Reg 0, Imm 0L);
+        Instr.Bra (Some (false, 0), "skip");
+        Instr.Bar;
+        Instr.Label "skip";
+        Instr.Exit ]
+  in
+  Alcotest.(check bool) "uniform-guard barrier not flagged" false
+    (has_code "divergent-barrier" k);
+  (* and a barrier at the reconvergence point is fine even when the
+     branch itself diverges *)
+  let k2 =
+    mk
+      [ Instr.Mov (0, Sreg (Tid X));
+        Instr.Setp (Eq, U32, 0, Reg 0, Imm 0L);
+        Instr.Bra (Some (false, 0), "skip");
+        Instr.Mov (1, Imm 1L);
+        Instr.Label "skip";
+        Instr.Bar;
+        Instr.Exit ]
+  in
+  Alcotest.(check bool) "post-reconvergence barrier not flagged" false
+    (has_code "divergent-barrier" k2)
+
+(* structural errors suppress the dataflow pass (whose analyses assume
+   in-bounds registers) *)
+let test_structural_gates_dataflow () =
+  let k = mk ~nregs:1 [ Instr.Iop (Add, 5, Reg 9, Imm 0L); Instr.Exit ] in
+  let codes = diag_codes k in
+  Alcotest.(check bool) "bounds error reported" true
+    (List.mem "register-bounds" codes);
+  Alcotest.(check bool) "no dataflow diagnostics alongside" false
+    (List.mem "use-before-def" codes)
+
+let () =
+  Alcotest.run "verify"
+    [
+      ( "golden",
+        [ Alcotest.test_case "all suite kernels verify clean" `Quick
+            test_suite_clean ] );
+      ( "bad-kernels",
+        [
+          Alcotest.test_case "use before def (register)" `Quick
+            test_use_before_def;
+          Alcotest.test_case "use before def (predicate)" `Quick
+            test_use_before_def_pred;
+          Alcotest.test_case "bad branch target" `Quick test_bad_branch_target;
+          Alcotest.test_case "missing parameter" `Quick test_missing_param;
+          Alcotest.test_case "register out of bounds" `Quick
+            test_register_bounds;
+          Alcotest.test_case "no exit" `Quick test_no_exit;
+          Alcotest.test_case "unreachable code warns" `Quick
+            test_unreachable_warns;
+          Alcotest.test_case "float address base" `Quick test_float_address;
+          Alcotest.test_case "divergent barrier" `Quick test_divergent_barrier;
+          Alcotest.test_case "uniform barrier clean" `Quick
+            test_uniform_barrier_clean;
+          Alcotest.test_case "structural gates dataflow" `Quick
+            test_structural_gates_dataflow;
+        ] );
+    ]
