@@ -76,8 +76,8 @@ let sweep ~jobs ~scale ~out_dir () =
   let buf = Buffer.create 1024 in
   let truncated = ref 0 in
   Buffer.add_string buf
-    (Printf.sprintf "%-6s %10s %10s %8s %8s %8s %8s\n" "app" "cycles"
-       "warpinsts" "req/w N" "req/w D" "L1m% N" "L1m% D");
+    (Printf.sprintf "%-6s %10s %10s %8s %8s %8s %8s %8s %8s\n" "app" "cycles"
+       "warpinsts" "req/w N" "req/w D" "L1m% N" "L1m% D" "turn N" "turn D");
   List.iteri
     (fun i (j : P.job) ->
       match outcomes.(i) with
@@ -90,12 +90,15 @@ let sweep ~jobs ~scale ~out_dir () =
           if s.Gsim.Stats.truncated then incr truncated;
           let open Dataflow.Classify in
           Buffer.add_string buf
-            (Printf.sprintf "%-6s %10d %10d %8.2f %8.2f %8.1f %8.1f%s\n"
+            (Printf.sprintf
+               "%-6s %10d %10d %8.2f %8.2f %8.1f %8.1f %8.0f %8.0f%s\n"
                j.P.sj_app s.Gsim.Stats.cycles s.Gsim.Stats.warp_insts
                (Gsim.Stats.requests_per_warp s Nondeterministic)
                (Gsim.Stats.requests_per_warp s Deterministic)
                (100. *. Gsim.Stats.l1_miss_ratio s Nondeterministic)
                (100. *. Gsim.Stats.l1_miss_ratio s Deterministic)
+               (Gsim.Stats.avg_turnaround s Nondeterministic)
+               (Gsim.Stats.avg_turnaround s Deterministic)
                (if s.Gsim.Stats.truncated then "  [truncated]" else "")))
     job_list;
   if !truncated > 0 then
@@ -155,7 +158,8 @@ let micro () =
       (Staged.stage (fun () ->
            next := (!next + 4099) land 0xFFFFF;
            let req =
-             Gsim.Request.make ~line_addr:(!next / 128 * 128) ~sm_id:0
+             Gsim.Request.make ~cta:(-1) ~line_addr:(!next / 128 * 128)
+               ~sm_id:0
                ~kind:Gsim.Request.Load ~cls:Dataflow.Classify.Deterministic
                ~wl:None ~now:0
            in

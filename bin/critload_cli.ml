@@ -5,6 +5,7 @@
      classify <app|file.ptx>     print the load classification
      characterize <app>          functional characterization (Figs 1,9-12)
      simulate <app>              cycle simulation (Figs 2-8 metrics)
+     trace <app>                 cycle simulation with event tracing
      sweep                       parallel multi-app sweep, JSON export
      list                        list the applications *)
 
@@ -369,12 +370,92 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Cycle-level simulation of one application.")
     Term.(const run $ app_arg $ scale_arg $ cap_arg)
 
+(* ---- trace (cycle-level observability) ---- *)
+
+let trace_cmd =
+  let run name scale cap kernel format out =
+    let app = Workloads.Suite.find name in
+    let cfg = { Gsim.Config.default with Gsim.Config.max_warp_insts = cap } in
+    let with_out f =
+      match out with
+      | "-" -> f stdout
+      | file ->
+          let oc = open_out file in
+          Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+    in
+    let run_traced ~trace =
+      match
+        Critload.Runner.run_timing_result ~cfg ~trace ?trace_kernel:kernel
+          app scale
+      with
+      | Ok r -> r
+      | Error e ->
+          Printf.eprintf "trace: %s\n" (Gsim.Sim_error.to_string e);
+          exit 1
+    in
+    match format with
+    | `Summary ->
+        let profile = Gsim.Profile.create () in
+        let r = run_traced ~trace:(Gsim.Profile.sink profile) in
+        let s = r.Critload.Runner.tr_stats in
+        with_out (fun oc ->
+            Printf.fprintf oc "app: %s  cycles: %d  warp insts: %d%s\n" name
+              s.Gsim.Stats.cycles s.Gsim.Stats.warp_insts
+              (if s.Gsim.Stats.truncated then "  [truncated]" else "");
+            output_string oc (Gsim.Profile.summary_to_string profile))
+    | `Jsonl ->
+        with_out (fun oc ->
+            let r = run_traced ~trace:(Gsim.Trace.jsonl_sink oc) in
+            ignore r)
+    | `Chrome ->
+        with_out (fun oc ->
+            let trace, close_trace = Gsim.Trace.chrome_sink oc in
+            let r = run_traced ~trace in
+            close_trace ();
+            ignore r)
+  in
+  let kernel =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "kernel" ] ~docv:"K"
+          ~doc:
+            "Trace only launches of kernel $(docv); other launches still \
+             run (cache state flows across them) but emit no events.")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("summary", `Summary); ("jsonl", `Jsonl);
+                    ("chrome", `Chrome) ])
+          `Summary
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:
+            "Output format: $(b,summary) (per-category turnaround \
+             histograms, reservation-fail attribution, MSHR locality), \
+             $(b,jsonl) (one event object per line), or $(b,chrome) \
+             (chrome://tracing / Perfetto trace_event JSON).")
+  in
+  let out =
+    Arg.(
+      value & opt string "-"
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:"Output file ('-' for stdout).")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Cycle-simulate one application with event tracing enabled: \
+          per-load-category latency histograms and fail attribution \
+          (summary), or the raw event stream (jsonl / chrome).")
+    Term.(const run $ app_arg $ scale_arg $ cap_arg $ kernel $ format $ out)
+
 (* ---- sweep (parallel, JSON export) ---- *)
 
 let sweep_cmd =
   let module P = Critload.Parsweep in
   let module Json = Gsim.Stats_io.Json in
-  let run apps scale cap jobs timeout func no_warmup out resume =
+  let run apps scale cap jobs timeout func no_warmup profile out resume =
     let apps =
       match apps with
       | [] -> List.map (fun (a : Workloads.App.t) -> a.Workloads.App.name)
@@ -397,7 +478,7 @@ let sweep_cmd =
     let mode = if func then P.Func else P.Timing in
     let job_list =
       P.jobs ~apps ~scales:[ scale ] ~cfgs:[ ("base", cfg) ] ~mode
-        ~warmup:(not no_warmup) ()
+        ~warmup:(not no_warmup) ~profile ()
     in
     let total = List.length job_list in
     let finished = ref 0 in
@@ -521,6 +602,15 @@ let sweep_cmd =
           ~doc:"Skip the functional fast-forward to the first heavy \
                 launch (timing mode).")
   in
+  let profile =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "Attach the event-trace Profile reducer to every timing job \
+             and embed its per-category metrics (turnaround histograms, \
+             fail attribution, MSHR locality) in each result.")
+  in
   let out =
     Arg.(
       value & opt string "-"
@@ -545,7 +635,7 @@ let sweep_cmd =
           processes and export every per-app statistic as JSON.")
     Term.(
       const run $ apps $ scale_arg $ cap_arg $ jobs $ timeout $ func
-      $ no_warmup $ out $ resume)
+      $ no_warmup $ profile $ out $ resume)
 
 let () =
   let doc =
@@ -555,4 +645,4 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "critload" ~doc)
           [ list_cmd; verify_cmd; classify_cmd; characterize_cmd;
-            advise_cmd; dot_cmd; simulate_cmd; sweep_cmd ]))
+            advise_cmd; dot_cmd; simulate_cmd; trace_cmd; sweep_cmd ]))

@@ -19,10 +19,11 @@ type job = {
   sj_cfg : Gsim.Config.t;
   sj_mode : mode;
   sj_warmup : bool;
+  sj_profile : bool; (* attach a Profile reducer to a timing run *)
 }
 
 let job ?(label = "base") ?(cfg = Gsim.Config.default) ?(mode = Timing)
-    ?(warmup = true) ?(scale = Workloads.App.Small) app =
+    ?(warmup = true) ?(profile = false) ?(scale = Workloads.App.Small) app =
   {
     sj_app = app;
     sj_scale = scale;
@@ -30,15 +31,18 @@ let job ?(label = "base") ?(cfg = Gsim.Config.default) ?(mode = Timing)
     sj_cfg = cfg;
     sj_mode = mode;
     sj_warmup = warmup;
+    sj_profile = profile;
   }
 
-let jobs ~apps ~scales ~cfgs ?(mode = Timing) ?(warmup = true) () =
+let jobs ~apps ~scales ~cfgs ?(mode = Timing) ?(warmup = true)
+    ?(profile = false) () =
   List.concat_map
     (fun app ->
       List.concat_map
         (fun scale ->
           List.map
-            (fun (label, cfg) -> job ~label ~cfg ~mode ~warmup ~scale app)
+            (fun (label, cfg) ->
+              job ~label ~cfg ~mode ~warmup ~profile ~scale app)
             cfgs)
         scales)
     apps
@@ -48,13 +52,16 @@ let string_of_mode = function Func -> "func" | Timing -> "timing"
 (* Stable identity of a job across processes: the sweep cross product
    never repeats an (app, scale, label, mode) combination, so this is
    unique within one sweep and survives a restart with the same CLI
-   arguments — the property resume rests on. *)
+   arguments — the property resume rests on.  The "|profile" suffix is
+   appended only for profiled jobs so checkpoints written before the
+   flag existed still resolve. *)
 let job_key j =
   String.concat "|"
     [ j.sj_app;
       Workloads.App.string_of_scale j.sj_scale;
       j.sj_label;
       string_of_mode j.sj_mode ]
+  ^ if j.sj_profile then "|profile" else ""
 
 (* ---- result summaries ---- *)
 
@@ -136,20 +143,34 @@ let func_summary_of_json v =
     fu_atom_warps = Json.int_field "atom_warps" v;
   }
 
-type timing_summary = { tm_launches : int; tm_stats : Gsim.Stats.t }
+type timing_summary = {
+  tm_launches : int;
+  tm_stats : Gsim.Stats.t;
+  tm_profile : Gsim.Profile.t option;
+}
 
-let timing_summary (r : Runner.timing_result) =
-  { tm_launches = r.Runner.tr_launches; tm_stats = r.Runner.tr_stats }
+let timing_summary ?profile (r : Runner.timing_result) =
+  { tm_launches = r.Runner.tr_launches;
+    tm_stats = r.Runner.tr_stats;
+    tm_profile = profile }
 
 let timing_summary_to_json t =
   Json.Obj
-    [ ("launches", Json.Int t.tm_launches);
-      ("stats", Gsim.Stats_io.stats_to_json t.tm_stats) ]
+    ([ ("launches", Json.Int t.tm_launches);
+       ("stats", Gsim.Stats_io.stats_to_json t.tm_stats) ]
+    @
+    match t.tm_profile with
+    | None -> []
+    | Some p -> [ ("profile", Gsim.Profile.to_json p) ])
 
 let timing_summary_of_json v =
   {
     tm_launches = Json.int_field "launches" v;
     tm_stats = Gsim.Stats_io.stats_of_json (Json.member "stats" v);
+    tm_profile =
+      (match Json.member "profile" v with
+      | Json.Null -> None
+      | p -> Some (Gsim.Profile.of_json p));
   }
 
 (* ---- worker body ---- *)
@@ -158,10 +179,18 @@ let exec_job j =
   let app = Workloads.Suite.find j.sj_app in
   match j.sj_mode with
   | Timing ->
-      let r =
-        Runner.run_timing ~cfg:j.sj_cfg ~warmup:j.sj_warmup app j.sj_scale
+      let profile, trace =
+        if j.sj_profile then begin
+          let p = Gsim.Profile.create () in
+          (Some p, Some (Gsim.Profile.sink p))
+        end
+        else (None, None)
       in
-      timing_summary_to_json (timing_summary r)
+      let r =
+        Runner.run_timing ~cfg:j.sj_cfg ~warmup:j.sj_warmup ?trace app
+          j.sj_scale
+      in
+      timing_summary_to_json (timing_summary ?profile r)
   | Func ->
       let r = Runner.run_func ~cfg:j.sj_cfg ~check:true app j.sj_scale in
       func_summary_to_json (func_summary r)

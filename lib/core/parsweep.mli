@@ -24,6 +24,7 @@ type job = {
   sj_cfg : Gsim.Config.t;
   sj_mode : mode;
   sj_warmup : bool;  (** timing runs: fast-forward past cold launches *)
+  sj_profile : bool;  (** timing runs: attach a {!Gsim.Profile} reducer *)
 }
 
 val job :
@@ -31,11 +32,12 @@ val job :
   ?cfg:Gsim.Config.t ->
   ?mode:mode ->
   ?warmup:bool ->
+  ?profile:bool ->
   ?scale:Workloads.App.scale ->
   string ->
   job
 (** [job app] with defaults: label ["base"], default config, [Timing]
-    mode, warmup on, [Small] scale. *)
+    mode, warmup on, profiling off, [Small] scale. *)
 
 val jobs :
   apps:string list ->
@@ -43,6 +45,7 @@ val jobs :
   cfgs:(string * Gsim.Config.t) list ->
   ?mode:mode ->
   ?warmup:bool ->
+  ?profile:bool ->
   unit ->
   job list
 (** Cross product, ordered app-major (app, then scale, then config). *)
@@ -50,7 +53,9 @@ val jobs :
 val job_key : job -> string
 (** Stable identity ["app|scale|label|mode"] — unique within one sweep
     cross product and reproducible across restarts with the same CLI
-    arguments; the key checkpoints and resume match on. *)
+    arguments; the key checkpoints and resume match on.  Profiled jobs
+    carry a ["|profile"] suffix so pre-existing checkpoints (written
+    before the flag existed) still resolve. *)
 
 (** {1 Result summaries} *)
 
@@ -79,10 +84,15 @@ val func_summary_of_json : Gsim.Stats_io.Json.t -> func_summary
 (** @raise Gsim.Stats_io.Json.Parse_error on schema mismatch. *)
 
 (** JSON-portable digest of a timing run; [tm_stats] round-trips the
-    full {!Gsim.Stats.t}. *)
-type timing_summary = { tm_launches : int; tm_stats : Gsim.Stats.t }
+    full {!Gsim.Stats.t}, [tm_profile] (profiled jobs only) the
+    {!Gsim.Profile.t} reduced from the run's trace. *)
+type timing_summary = {
+  tm_launches : int;
+  tm_stats : Gsim.Stats.t;
+  tm_profile : Gsim.Profile.t option;
+}
 
-val timing_summary : Runner.timing_result -> timing_summary
+val timing_summary : ?profile:Gsim.Profile.t -> Runner.timing_result -> timing_summary
 val timing_summary_to_json : timing_summary -> Gsim.Stats_io.Json.t
 
 val timing_summary_of_json : Gsim.Stats_io.Json.t -> timing_summary

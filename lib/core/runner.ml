@@ -107,12 +107,13 @@ let warmup_launches ?(cfg = Gsim.Config.default) (app : Workloads.App.t) scale
   in
   first 0
 
-let run_timing ?(cfg = Gsim.Config.default) ?(warmup = true)
-    (app : Workloads.App.t) scale =
+let run_timing ?(cfg = Gsim.Config.default) ?(warmup = true) ?trace
+    ?trace_kernel (app : Workloads.App.t) scale =
   let skip = if warmup then warmup_launches ~cfg app scale else 0 in
   let run = app.Workloads.App.make scale in
-  let machine = Gsim.Gpu.create_machine ~cfg () in
+  let machine = Gsim.Gpu.create_machine ~cfg ?trace () in
   let stats = machine.Gsim.Gpu.stats in
+  let trace = machine.Gsim.Gpu.trace in
   let ff = Gsim.Funcsim.create cfg in
   let launches = ref 0 in
   let continue_ = ref true in
@@ -121,8 +122,23 @@ let run_timing ?(cfg = Gsim.Config.default) ?(warmup = true)
     | None -> continue_ := false
     | Some launch ->
         if !launches < skip then Gsim.Funcsim.run_into ff launch
-        else if not (Gsim.Gpu.run_launch machine launch) then
-          continue_ := false;
+        else begin
+          (* --kernel filtering: mute the shared trace for launches of
+             other kernels instead of rebuilding the machine, so cache
+             state still flows across kernel boundaries *)
+          let muted =
+            match trace_kernel with
+            | Some k -> k <> launch.Gsim.Launch.kernel.Ptx.Kernel.kname
+            | None -> false
+          in
+          let ran =
+            if muted then
+              Gsim.Trace.with_muted trace (fun () ->
+                  Gsim.Gpu.run_launch machine launch)
+            else Gsim.Gpu.run_launch machine launch
+          in
+          if not ran then continue_ := false
+        end;
         incr launches
   done;
   { tr_app = app; tr_stats = stats; tr_launches = !launches; tr_cfg = cfg }
@@ -145,5 +161,5 @@ let catching f =
 let run_func_result ?cfg ?max_warp_insts ?check app scale =
   catching (fun () -> run_func ?cfg ?max_warp_insts ?check app scale)
 
-let run_timing_result ?cfg ?warmup app scale =
-  catching (fun () -> run_timing ?cfg ?warmup app scale)
+let run_timing_result ?cfg ?warmup ?trace ?trace_kernel app scale =
+  catching (fun () -> run_timing ?cfg ?warmup ?trace ?trace_kernel app scale)

@@ -41,13 +41,17 @@ val warmup_launches :
 val run_timing :
   ?cfg:Gsim.Config.t ->
   ?warmup:bool ->
+  ?trace:Gsim.Trace.t ->
+  ?trace_kernel:string ->
   Workloads.App.t ->
   Workloads.App.scale ->
   timing_result
 (** Cycle-level run.  With [warmup] (default true) the run
     fast-forwards functionally to the first heavy launch — the memory
     image is shared, so simulation resumes exactly there — and
-    cycle-simulates from that point until the configured caps. *)
+    cycle-simulates from that point until the configured caps.
+    [trace] (default null) receives memory-system events;
+    [trace_kernel] mutes it for launches of every other kernel. *)
 
 val run_func_result :
   ?cfg:Gsim.Config.t ->
@@ -64,6 +68,8 @@ val run_func_result :
 val run_timing_result :
   ?cfg:Gsim.Config.t ->
   ?warmup:bool ->
+  ?trace:Gsim.Trace.t ->
+  ?trace_kernel:string ->
   Workloads.App.t ->
   Workloads.App.scale ->
   (timing_result, Gsim.Sim_error.t) result

@@ -9,6 +9,10 @@
 type fail_reason = Fail_tags | Fail_mshr | Fail_icnt
 type outcome = Hit | Hit_reserved | Miss | Rsrv_fail of fail_reason
 
+val outcome_index : outcome -> int
+(** Hit 0, Hit_reserved 1, Miss 2, then tags / mshr / icnt fails 3-5
+    (the {!Stats} Fig 3 slot order). *)
+
 type t
 
 val create :
@@ -45,3 +49,21 @@ val write_allocate : t -> line_addr:int -> bool
 
 val occupancy : t -> int * int
 (** (valid lines, reserved lines). *)
+
+val outcome_counts : t -> int array
+(** Load-probe outcomes counted by the cache itself, indexed by
+    {!outcome_index}: one increment per [access_load] call, so an
+    access that fails reservation and retries counts once per attempt
+    in the fail slots plus once on completion. *)
+
+val completed_accesses : t -> int
+(** Hit + hit-reserved + miss — each logical load access exactly once,
+    retries excluded: the same accounting {!Simplecache} uses, which is
+    what lets trace-derived counts reconcile across the two models. *)
+
+val mshr_in_use : t -> int
+(** In-flight MSHR entries (occupancy timelines). *)
+
+val mshr_owner_cta : t -> line_addr:int -> int
+(** CTA that allocated the in-flight MSHR entry for the line; [-1]
+    when the line has no entry (MSHR-merge locality attribution). *)

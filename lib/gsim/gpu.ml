@@ -13,24 +13,27 @@
 type t = {
   cfg : Config.t;
   stats : Stats.t;
+  trace : Trace.t;
   icnt : Icnt.t;
   parts : L2part.t array;
   sms : Sm.t array;
   mutable cycle : int;
 }
 
-let create_machine ?(cfg = Config.default) ?stats () =
+let create_machine ?(cfg = Config.default) ?stats ?(trace = Trace.null ()) ()
+    =
   let stats = match stats with Some s -> s | None -> Stats.create () in
   {
     cfg;
     stats;
-    icnt = Icnt.create cfg;
+    trace;
+    icnt = Icnt.create ~trace cfg;
     parts =
       Array.init cfg.Config.n_mem_partitions (fun id ->
-          L2part.create cfg ~id ~stats);
+          L2part.create ~trace cfg ~id ~stats);
     sms =
       Array.init cfg.Config.n_sms (fun id ->
-          Sm.create cfg ~id ~stats ~warp_slots:0);
+          Sm.create ~trace cfg ~id ~stats ~warp_slots:0);
     cycle = 0;
   }
 
@@ -101,11 +104,22 @@ let work_remaining t d =
   || Array.exists (fun sm -> not (Sm.idle sm)) t.sms
   || Array.exists (fun p -> not (L2part.idle p)) t.parts
 
+(* Occupancy timelines are sampled sparsely — every 256th cycle — so
+   tracing a long run stays linear in events, not cycles * SMs. *)
+let occupancy_interval_mask = 255
+
 let step t d =
   distribute t d;
   let now = t.cycle in
   Array.iter (fun sm -> Sm.cycle sm ~now ~icnt:t.icnt) t.sms;
   Array.iter (fun p -> L2part.cycle p ~now ~icnt:t.icnt) t.parts;
+  if Trace.enabled t.trace && now land occupancy_interval_mask = 0 then
+    Array.iteri
+      (fun id sm ->
+        let mshr, ldst_q = Sm.occupancy_sample sm in
+        Trace.emit t.trace
+          (Trace.Ev_occupancy { cycle = now; sm = id; mshr; ldst_q }))
+      t.sms;
   t.cycle <- t.cycle + 1
 
 (* The stall watchdog fires after this many cycles with no change in
@@ -180,7 +194,7 @@ let run_launch t ?max_ctas (launch : Launch.t) =
   else true
 
 (* Convenience: one launch on a fresh machine. *)
-let run ?cfg ?max_ctas ?stats (launch : Launch.t) =
-  let t = create_machine ?cfg ?stats () in
+let run ?cfg ?max_ctas ?stats ?trace (launch : Launch.t) =
+  let t = create_machine ?cfg ?stats ?trace () in
   ignore (run_launch t ?max_ctas launch);
   t

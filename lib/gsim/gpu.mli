@@ -8,13 +8,19 @@
 type t = {
   cfg : Config.t;
   stats : Stats.t;
+  trace : Trace.t;
   icnt : Icnt.t;
   parts : L2part.t array;
   sms : Sm.t array;
   mutable cycle : int;
 }
 
-val create_machine : ?cfg:Config.t -> ?stats:Stats.t -> unit -> t
+val create_machine :
+  ?cfg:Config.t -> ?stats:Stats.t -> ?trace:Trace.t -> unit -> t
+(** [?trace] defaults to a null sink shared by every SM, the
+    interconnect, and every memory partition; when enabled, per-SM
+    MSHR / LD-ST queue occupancy is additionally sampled every 256th
+    cycle. *)
 
 val run_launch : t -> ?max_ctas:int -> Launch.t -> bool
 (** Run one kernel launch to completion (or to the instruction/cycle
@@ -24,5 +30,7 @@ val run_launch : t -> ?max_ctas:int -> Launch.t -> bool
     @raise Sim_error.Error on barrier deadlock or livelock (the stall
     watchdog), with kernel / warp / cycle context. *)
 
-val run : ?cfg:Config.t -> ?max_ctas:int -> ?stats:Stats.t -> Launch.t -> t
+val run :
+  ?cfg:Config.t -> ?max_ctas:int -> ?stats:Stats.t -> ?trace:Trace.t ->
+  Launch.t -> t
 (** One launch on a fresh machine. *)

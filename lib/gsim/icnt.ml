@@ -12,14 +12,16 @@
 
 type t = {
   cfg : Config.t;
+  trace : Trace.t;
   to_part : Request.t Queue.t array; (* per partition, FIFO by arrival *)
   to_sm : Request.t Queue.t array; (* per SM, FIFO by arrival *)
   sm_inflight : int array; (* outstanding credits used per SM *)
 }
 
-let create (cfg : Config.t) =
+let create ?(trace = Trace.null ()) (cfg : Config.t) =
   {
     cfg;
+    trace;
     to_part = Array.init cfg.Config.n_mem_partitions (fun _ -> Queue.create ());
     to_sm = Array.init cfg.Config.n_sms (fun _ -> Queue.create ());
     sm_inflight = Array.make cfg.Config.n_sms 0;
@@ -44,11 +46,20 @@ let partition_of (cfg : Config.t) ~sm line_addr =
 
 let can_inject t ~sm = t.sm_inflight.(sm) < t.cfg.Config.icnt_buffer_size
 
+let emit_xfer t ~cycle ~dir ~enq (req : Request.t) ~part =
+  if Trace.enabled t.trace then begin
+    let sm = req.Request.sm_id and line = req.Request.line_addr in
+    Trace.emit t.trace
+      (if enq then Trace.Ev_icnt_enq { cycle; dir; sm; part; line }
+       else Trace.Ev_icnt_deq { cycle; dir; sm; part; line })
+  end
+
 let inject_request t ~now (req : Request.t) =
   let part = partition_of t.cfg ~sm:req.Request.sm_id req.Request.line_addr in
   req.Request.t_icnt <- now;
   req.Request.t_arrive <- now + t.cfg.Config.icnt_latency;
   t.sm_inflight.(req.Request.sm_id) <- t.sm_inflight.(req.Request.sm_id) + 1;
+  emit_xfer t ~cycle:now ~dir:Trace.Dir_req ~enq:true req ~part;
   Queue.push req t.to_part.(part)
 
 (* Head request for the partition if it has arrived; consuming it
@@ -59,17 +70,23 @@ let pop_request t ~now ~part =
       ignore (Queue.pop t.to_part.(part));
       t.sm_inflight.(req.Request.sm_id) <-
         t.sm_inflight.(req.Request.sm_id) - 1;
+      emit_xfer t ~cycle:now ~dir:Trace.Dir_req ~enq:false req ~part;
       Some req
   | Some _ | None -> None
 
 let inject_response t ~now (req : Request.t) =
   req.Request.t_resp_arrive <- now + t.cfg.Config.icnt_latency;
+  emit_xfer t ~cycle:now ~dir:Trace.Dir_resp ~enq:true req
+    ~part:(partition_of t.cfg ~sm:req.Request.sm_id req.Request.line_addr);
   Queue.push req t.to_sm.(req.Request.sm_id)
 
 let pop_response t ~now ~sm =
   match Queue.peek_opt t.to_sm.(sm) with
   | Some req when req.Request.t_resp_arrive <= now ->
       ignore (Queue.pop t.to_sm.(sm));
+      emit_xfer t ~cycle:now ~dir:Trace.Dir_resp ~enq:false req
+        ~part:
+          (partition_of t.cfg ~sm:req.Request.sm_id req.Request.line_addr);
       Some req
   | Some _ | None -> None
 

@@ -11,7 +11,9 @@
 
 type t
 
-val create : Config.t -> t
+val create : ?trace:Trace.t -> Config.t -> t
+(** [?trace] defaults to a null sink; transfer events (enqueue /
+    dequeue on both directions) are emitted only when enabled. *)
 
 val partition_of : Config.t -> sm:int -> int -> int
 (** Memory partition servicing a line address.  Under the Section X.C

@@ -17,6 +17,7 @@ type t = {
   id : int;
   cfg : Config.t;
   stats : Stats.t;
+  trace : Trace.t;
   cache : Cache.t;
   input : Request.t Queue.t;
   dram : dram_txn Queue.t;
@@ -28,11 +29,12 @@ type t = {
   mutable dram_writes : int;
 }
 
-let create (cfg : Config.t) ~id ~stats =
+let create ?(trace = Trace.null ()) (cfg : Config.t) ~id ~stats =
   {
     id;
     cfg;
     stats;
+    trace;
     cache =
       Cache.create ~sets:cfg.Config.l2_sets ~ways:cfg.Config.l2_ways
         ~line_size:cfg.Config.line_size
@@ -60,6 +62,9 @@ let schedule_dram t ~start ~line ~write =
   t.dram_next_free <- begin_at + t.cfg.Config.dram_interval;
   if write then t.dram_writes <- t.dram_writes + 1
   else t.dram_reads <- t.dram_reads + 1;
+  if Trace.enabled t.trace then
+    Trace.emit t.trace
+      (Trace.Ev_dram_enq { cycle = begin_at; part = t.id; line; write });
   let ready = begin_at + t.cfg.Config.dram_latency in
   if not write then Queue.push { d_line = line; d_ready = ready; d_write = write } t.dram;
   ready
@@ -75,6 +80,14 @@ let cycle t ~now ~icnt =
     | Some txn when txn.d_ready <= now ->
         ignore (Queue.pop t.dram);
         let waiters = Cache.fill t.cache ~line_addr:txn.d_line in
+        if Trace.enabled t.trace then begin
+          Trace.emit t.trace
+            (Trace.Ev_dram_deq { cycle = now; part = t.id; line = txn.d_line });
+          Trace.emit t.trace
+            (Trace.Ev_mshr_free
+               { cycle = now; where = Trace.S_l2 t.id; line = txn.d_line;
+                 waiters = List.length waiters })
+        end;
         List.iter (fun req -> respond t ~now ~level:Request.Lvl_dram req) waiters
     | Some _ | None -> continue_ := false
   done;
@@ -104,6 +117,12 @@ let cycle t ~now ~icnt =
           if Cache.write_allocate t.cache ~line_addr:req.Request.line_addr
           then begin
             ignore (Queue.pop t.input);
+            if Trace.enabled t.trace then
+              Trace.emit t.trace
+                (Trace.Ev_access
+                   { cycle = now; where = Trace.S_l2 t.id;
+                     line = req.Request.line_addr; src = Trace.A_store;
+                     outcome = Cache.Miss });
             (* write-through to DRAM, no response expected *)
             ignore
               (schedule_dram t ~start:(now + cfg.Config.l2_latency)
@@ -111,12 +130,49 @@ let cycle t ~now ~icnt =
           end
           else begin
             t.rsrv_fails <- t.rsrv_fails + 1;
-            t.stats.Stats.l2_rsrv_fails <- t.stats.Stats.l2_rsrv_fails + 1
+            t.stats.Stats.l2_rsrv_fails <- t.stats.Stats.l2_rsrv_fails + 1;
+            if Trace.enabled t.trace then
+              Trace.emit t.trace
+                (Trace.Ev_access
+                   { cycle = now; where = Trace.S_l2 t.id;
+                     line = req.Request.line_addr; src = Trace.A_store;
+                     outcome = Cache.Rsrv_fail Cache.Fail_tags })
           end
       | Request.Load | Request.Atomic -> (
-          match
+          let owner_cta =
+            if Trace.enabled t.trace then
+              Cache.mshr_owner_cta t.cache ~line_addr:req.Request.line_addr
+            else -1
+          in
+          let outcome =
             Cache.access_load t.cache ~req ~icnt_ok:(dram_has_space t)
-          with
+          in
+          (if Trace.enabled t.trace then begin
+             let src =
+               if req.Request.wl = None && req.Request.cta < 0 then
+                 Trace.A_prefetch
+               else Trace.A_load req.Request.cls
+             in
+             Trace.emit t.trace
+               (Trace.Ev_access
+                  { cycle = now; where = Trace.S_l2 t.id;
+                    line = req.Request.line_addr; src; outcome });
+             match outcome with
+             | Cache.Miss ->
+                 Trace.emit t.trace
+                   (Trace.Ev_mshr_alloc
+                      { cycle = now; where = Trace.S_l2 t.id;
+                        line = req.Request.line_addr;
+                        cta = req.Request.cta })
+             | Cache.Hit_reserved ->
+                 Trace.emit t.trace
+                   (Trace.Ev_mshr_merge
+                      { cycle = now; where = Trace.S_l2 t.id;
+                        line = req.Request.line_addr;
+                        cta = req.Request.cta; owner_cta })
+             | Cache.Hit | Cache.Rsrv_fail _ -> ()
+           end);
+          match outcome with
           | Cache.Hit ->
               ignore (Queue.pop t.input);
               Stats.record_l2_access t.stats req.Request.cls ~miss:false;

@@ -4,7 +4,9 @@
 
 type t
 
-val create : Config.t -> id:int -> stats:Stats.t -> t
+val create : ?trace:Trace.t -> Config.t -> id:int -> stats:Stats.t -> t
+(** [?trace] defaults to a null sink; L2 access, MSHR, and DRAM
+    channel events are emitted only when enabled. *)
 
 val cycle : t -> now:int -> icnt:Icnt.t -> unit
 (** One cycle: complete DRAM transactions and pending L2 hits, accept

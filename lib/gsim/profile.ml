@@ -1,0 +1,525 @@
+(* Profile reducer: folds the Trace event stream into the per-PC and
+   per-category derived metrics the paper's figures plot — turnaround
+   histograms in log-2 buckets (Figs 5-6), reservation-fail attribution
+   by load category (Fig 3), MSHR-merge inter- vs intra-CTA locality
+   (Figs 8-9), and per-SM MSHR / LD-ST queue occupancy timelines.
+
+   A profile is an ordinary commutative-monoid accumulator: profiles
+   built from disjoint event streams can be [merge]d in any order and
+   serialize to identical JSON (the associativity test_profile checks),
+   which is what lets per-worker profiles ride the parsweep pipeline. *)
+
+type cls = Dataflow.Classify.load_class
+
+module Json = Stats_io.Json
+
+(* ---- log-2 latency histogram ---- *)
+
+(* Bucket 0 holds latency <= 0; bucket i >= 1 holds [2^(i-1), 2^i);
+   the last bucket additionally absorbs everything above 2^22. *)
+let n_buckets = 24
+
+let bucket_of_latency lat =
+  if lat <= 0 then 0
+  else begin
+    (* bit length = floor(log2 lat) + 1 *)
+    let rec bits acc v = if v = 0 then acc else bits (acc + 1) (v lsr 1) in
+    min (n_buckets - 1) (bits 0 lat)
+  end
+
+let bucket_lo = function 0 -> 0 | i -> 1 lsl (i - 1)
+
+let bucket_label i =
+  if i = 0 then "0"
+  else if i = n_buckets - 1 then Printf.sprintf "[%d,inf)" (bucket_lo i)
+  else Printf.sprintf "[%d,%d)" (bucket_lo i) (1 lsl i)
+
+(* ---- accumulators ---- *)
+
+let n_fail = 3 (* tags / mshr / icnt, Fig 3's three reservation fails *)
+
+let fail_index = function
+  | Cache.Fail_tags -> 0
+  | Cache.Fail_mshr -> 1
+  | Cache.Fail_icnt -> 2
+
+type class_profile = {
+  mutable cp_issues : int; (* warp-level loads issued *)
+  mutable cp_returns : int; (* warp-level loads completed *)
+  mutable cp_sum_turnaround : int;
+  mutable cp_max_turnaround : int;
+  cp_hist : int array; (* n_buckets turnaround buckets *)
+  mutable cp_l1_hit : int;
+  mutable cp_l1_merge : int;
+  mutable cp_l1_miss : int;
+  cp_l1_fail : int array; (* reservation fails by kind *)
+  mutable cp_l2_access : int;
+  mutable cp_l2_miss : int;
+  cp_l2_fail : int array;
+}
+
+let empty_class_profile () =
+  {
+    cp_issues = 0;
+    cp_returns = 0;
+    cp_sum_turnaround = 0;
+    cp_max_turnaround = 0;
+    cp_hist = Array.make n_buckets 0;
+    cp_l1_hit = 0;
+    cp_l1_merge = 0;
+    cp_l1_miss = 0;
+    cp_l1_fail = Array.make n_fail 0;
+    cp_l2_access = 0;
+    cp_l2_miss = 0;
+    cp_l2_fail = Array.make n_fail 0;
+  }
+
+type pc_profile = {
+  pp_kernel : string;
+  pp_pc : int;
+  pp_cls : cls;
+  mutable pp_issues : int;
+  mutable pp_returns : int;
+  mutable pp_sum_turnaround : int;
+  pp_hist : int array;
+}
+
+(* Per-SM occupancy timeline sample. *)
+type occ_sample = { oc_sm : int; oc_cycle : int; oc_mshr : int; oc_ldst : int }
+
+type t = {
+  per_class : class_profile array; (* D, N — Stats.cls_index order *)
+  per_pc : (string * int, pc_profile) Hashtbl.t;
+  mutable store_ok : int; (* store probes that went downstream *)
+  st_fail : int array; (* L1 store reservation fails by kind *)
+  mutable l2_store_fail : int;
+  mutable prefetch_probes : int;
+  mutable prefetch_misses : int;
+  (* MSHR merge locality: did the merging request come from the CTA
+     that allocated the in-flight entry (intra) or another one (inter)? *)
+  mutable l1_merge_intra : int;
+  mutable l1_merge_inter : int;
+  mutable l2_merge_intra : int;
+  mutable l2_merge_inter : int;
+  mutable dram_reads : int;
+  mutable dram_writes : int;
+  mutable icnt_req_enq : int;
+  mutable icnt_req_deq : int;
+  mutable icnt_resp_enq : int;
+  mutable icnt_resp_deq : int;
+  mutable occ : occ_sample list; (* reverse emission order *)
+}
+
+let create () =
+  {
+    per_class = [| empty_class_profile (); empty_class_profile () |];
+    per_pc = Hashtbl.create 64;
+    store_ok = 0;
+    st_fail = Array.make n_fail 0;
+    l2_store_fail = 0;
+    prefetch_probes = 0;
+    prefetch_misses = 0;
+    l1_merge_intra = 0;
+    l1_merge_inter = 0;
+    l2_merge_intra = 0;
+    l2_merge_inter = 0;
+    dram_reads = 0;
+    dram_writes = 0;
+    icnt_req_enq = 0;
+    icnt_req_deq = 0;
+    icnt_resp_enq = 0;
+    icnt_resp_deq = 0;
+    occ = [];
+  }
+
+let class_profile t c = t.per_class.(Stats.cls_index c)
+
+let pc_profile t kernel pc c =
+  match Hashtbl.find_opt t.per_pc (kernel, pc) with
+  | Some pp -> pp
+  | None ->
+      let pp =
+        { pp_kernel = kernel; pp_pc = pc; pp_cls = c; pp_issues = 0;
+          pp_returns = 0; pp_sum_turnaround = 0;
+          pp_hist = Array.make n_buckets 0 }
+      in
+      Hashtbl.add t.per_pc (kernel, pc) pp;
+      pp
+
+let add t (ev : Trace.event) =
+  match ev with
+  | Trace.Ev_load_issue e ->
+      (class_profile t e.cls).cp_issues <-
+        (class_profile t e.cls).cp_issues + 1;
+      let pp = pc_profile t e.kernel e.pc e.cls in
+      pp.pp_issues <- pp.pp_issues + 1
+  | Trace.Ev_load_return e ->
+      let cp = class_profile t e.cls in
+      cp.cp_returns <- cp.cp_returns + 1;
+      cp.cp_sum_turnaround <- cp.cp_sum_turnaround + e.turnaround;
+      if e.turnaround > cp.cp_max_turnaround then
+        cp.cp_max_turnaround <- e.turnaround;
+      let b = bucket_of_latency e.turnaround in
+      cp.cp_hist.(b) <- cp.cp_hist.(b) + 1;
+      let pp = pc_profile t e.kernel e.pc e.cls in
+      pp.pp_returns <- pp.pp_returns + 1;
+      pp.pp_sum_turnaround <- pp.pp_sum_turnaround + e.turnaround;
+      pp.pp_hist.(b) <- pp.pp_hist.(b) + 1
+  | Trace.Ev_access e -> (
+      match (e.where, e.src) with
+      | Trace.S_l1 _, Trace.A_load c -> (
+          let cp = class_profile t c in
+          match e.outcome with
+          | Cache.Hit -> cp.cp_l1_hit <- cp.cp_l1_hit + 1
+          | Cache.Hit_reserved -> cp.cp_l1_merge <- cp.cp_l1_merge + 1
+          | Cache.Miss -> cp.cp_l1_miss <- cp.cp_l1_miss + 1
+          | Cache.Rsrv_fail k ->
+              let i = fail_index k in
+              cp.cp_l1_fail.(i) <- cp.cp_l1_fail.(i) + 1)
+      | Trace.S_l1 _, Trace.A_store -> (
+          match e.outcome with
+          | Cache.Rsrv_fail k ->
+              let i = fail_index k in
+              t.st_fail.(i) <- t.st_fail.(i) + 1
+          | Cache.Hit | Cache.Hit_reserved | Cache.Miss ->
+              t.store_ok <- t.store_ok + 1)
+      | Trace.S_l1 _, Trace.A_prefetch ->
+          t.prefetch_probes <- t.prefetch_probes + 1;
+          if e.outcome = Cache.Miss then
+            t.prefetch_misses <- t.prefetch_misses + 1
+      | Trace.S_l2 _, Trace.A_load c -> (
+          let cp = class_profile t c in
+          match e.outcome with
+          | Cache.Hit | Cache.Hit_reserved ->
+              cp.cp_l2_access <- cp.cp_l2_access + 1
+          | Cache.Miss ->
+              cp.cp_l2_access <- cp.cp_l2_access + 1;
+              cp.cp_l2_miss <- cp.cp_l2_miss + 1
+          | Cache.Rsrv_fail k ->
+              let i = fail_index k in
+              cp.cp_l2_fail.(i) <- cp.cp_l2_fail.(i) + 1)
+      | Trace.S_l2 _, (Trace.A_store | Trace.A_prefetch) -> (
+          match e.outcome with
+          | Cache.Rsrv_fail _ -> t.l2_store_fail <- t.l2_store_fail + 1
+          | _ -> ()))
+  | Trace.Ev_mshr_merge e -> (
+      let intra = e.cta >= 0 && e.cta = e.owner_cta in
+      match e.where with
+      | Trace.S_l1 _ ->
+          if intra then t.l1_merge_intra <- t.l1_merge_intra + 1
+          else t.l1_merge_inter <- t.l1_merge_inter + 1
+      | Trace.S_l2 _ ->
+          if intra then t.l2_merge_intra <- t.l2_merge_intra + 1
+          else t.l2_merge_inter <- t.l2_merge_inter + 1)
+  | Trace.Ev_mshr_alloc _ | Trace.Ev_mshr_free _ -> ()
+  | Trace.Ev_icnt_enq e ->
+      if e.dir = Trace.Dir_req then t.icnt_req_enq <- t.icnt_req_enq + 1
+      else t.icnt_resp_enq <- t.icnt_resp_enq + 1
+  | Trace.Ev_icnt_deq e ->
+      if e.dir = Trace.Dir_req then t.icnt_req_deq <- t.icnt_req_deq + 1
+      else t.icnt_resp_deq <- t.icnt_resp_deq + 1
+  | Trace.Ev_dram_enq e ->
+      if e.write then t.dram_writes <- t.dram_writes + 1
+      else t.dram_reads <- t.dram_reads + 1
+  | Trace.Ev_dram_deq _ -> ()
+  | Trace.Ev_occupancy e ->
+      t.occ <-
+        { oc_sm = e.sm; oc_cycle = e.cycle; oc_mshr = e.mshr;
+          oc_ldst = e.ldst_q }
+        :: t.occ
+
+(* A trace sink that feeds this profile. *)
+let sink t = Trace.stream (add t)
+
+(* ---- merge (per-worker / per-SM aggregation) ---- *)
+
+let add_arrays dst src = Array.iteri (fun i v -> dst.(i) <- dst.(i) + v) src
+
+let merge_class ~(dst : class_profile) ~(src : class_profile) =
+  dst.cp_issues <- dst.cp_issues + src.cp_issues;
+  dst.cp_returns <- dst.cp_returns + src.cp_returns;
+  dst.cp_sum_turnaround <- dst.cp_sum_turnaround + src.cp_sum_turnaround;
+  dst.cp_max_turnaround <- max dst.cp_max_turnaround src.cp_max_turnaround;
+  add_arrays dst.cp_hist src.cp_hist;
+  dst.cp_l1_hit <- dst.cp_l1_hit + src.cp_l1_hit;
+  dst.cp_l1_merge <- dst.cp_l1_merge + src.cp_l1_merge;
+  dst.cp_l1_miss <- dst.cp_l1_miss + src.cp_l1_miss;
+  add_arrays dst.cp_l1_fail src.cp_l1_fail;
+  dst.cp_l2_access <- dst.cp_l2_access + src.cp_l2_access;
+  dst.cp_l2_miss <- dst.cp_l2_miss + src.cp_l2_miss;
+  add_arrays dst.cp_l2_fail src.cp_l2_fail
+
+let merge ~dst ~src =
+  Array.iteri
+    (fun i s -> merge_class ~dst:dst.per_class.(i) ~src:s)
+    src.per_class;
+  Hashtbl.iter
+    (fun key (sp : pc_profile) ->
+      match Hashtbl.find_opt dst.per_pc key with
+      | None ->
+          Hashtbl.add dst.per_pc key
+            { sp with pp_hist = Array.copy sp.pp_hist }
+      | Some dp ->
+          dp.pp_issues <- dp.pp_issues + sp.pp_issues;
+          dp.pp_returns <- dp.pp_returns + sp.pp_returns;
+          dp.pp_sum_turnaround <- dp.pp_sum_turnaround + sp.pp_sum_turnaround;
+          add_arrays dp.pp_hist sp.pp_hist)
+    src.per_pc;
+  dst.store_ok <- dst.store_ok + src.store_ok;
+  add_arrays dst.st_fail src.st_fail;
+  dst.l2_store_fail <- dst.l2_store_fail + src.l2_store_fail;
+  dst.prefetch_probes <- dst.prefetch_probes + src.prefetch_probes;
+  dst.prefetch_misses <- dst.prefetch_misses + src.prefetch_misses;
+  dst.l1_merge_intra <- dst.l1_merge_intra + src.l1_merge_intra;
+  dst.l1_merge_inter <- dst.l1_merge_inter + src.l1_merge_inter;
+  dst.l2_merge_intra <- dst.l2_merge_intra + src.l2_merge_intra;
+  dst.l2_merge_inter <- dst.l2_merge_inter + src.l2_merge_inter;
+  dst.dram_reads <- dst.dram_reads + src.dram_reads;
+  dst.dram_writes <- dst.dram_writes + src.dram_writes;
+  dst.icnt_req_enq <- dst.icnt_req_enq + src.icnt_req_enq;
+  dst.icnt_req_deq <- dst.icnt_req_deq + src.icnt_req_deq;
+  dst.icnt_resp_enq <- dst.icnt_resp_enq + src.icnt_resp_enq;
+  dst.icnt_resp_deq <- dst.icnt_resp_deq + src.icnt_resp_deq;
+  dst.occ <- src.occ @ dst.occ
+
+(* ---- derived metrics ---- *)
+
+let avg_turnaround t c =
+  let cp = class_profile t c in
+  if cp.cp_returns = 0 then 0.0
+  else float_of_int cp.cp_sum_turnaround /. float_of_int cp.cp_returns
+
+let l1_loads t c =
+  let cp = class_profile t c in
+  cp.cp_l1_hit + cp.cp_l1_merge + cp.cp_l1_miss
+
+(* Occupancy samples in deterministic (cycle, sm) order regardless of
+   merge order. *)
+let occ_sorted t =
+  List.sort
+    (fun a b ->
+      match compare a.oc_cycle b.oc_cycle with
+      | 0 -> compare a.oc_sm b.oc_sm
+      | c -> c)
+    t.occ
+
+(* ---- JSON (rides stats_io through the parsweep pipeline) ---- *)
+
+let int_arr a = Json.Arr (Array.to_list (Array.map (fun i -> Json.Int i) a))
+
+let int_arr_of v = Array.of_list (List.map Json.get_int (Json.get_list v))
+
+let class_to_json cp =
+  Json.Obj
+    [ ("issues", Json.Int cp.cp_issues);
+      ("returns", Json.Int cp.cp_returns);
+      ("sum_turnaround", Json.Int cp.cp_sum_turnaround);
+      ("max_turnaround", Json.Int cp.cp_max_turnaround);
+      ("hist", int_arr cp.cp_hist);
+      ("l1_hit", Json.Int cp.cp_l1_hit);
+      ("l1_merge", Json.Int cp.cp_l1_merge);
+      ("l1_miss", Json.Int cp.cp_l1_miss);
+      ("l1_fail", int_arr cp.cp_l1_fail);
+      ("l2_access", Json.Int cp.cp_l2_access);
+      ("l2_miss", Json.Int cp.cp_l2_miss);
+      ("l2_fail", int_arr cp.cp_l2_fail) ]
+
+let class_of_json v =
+  let cp = empty_class_profile () in
+  cp.cp_issues <- Json.int_field "issues" v;
+  cp.cp_returns <- Json.int_field "returns" v;
+  cp.cp_sum_turnaround <- Json.int_field "sum_turnaround" v;
+  cp.cp_max_turnaround <- Json.int_field "max_turnaround" v;
+  Array.blit (int_arr_of (Json.member "hist" v)) 0 cp.cp_hist 0 n_buckets;
+  cp.cp_l1_hit <- Json.int_field "l1_hit" v;
+  cp.cp_l1_merge <- Json.int_field "l1_merge" v;
+  cp.cp_l1_miss <- Json.int_field "l1_miss" v;
+  Array.blit (int_arr_of (Json.member "l1_fail" v)) 0 cp.cp_l1_fail 0 n_fail;
+  cp.cp_l2_access <- Json.int_field "l2_access" v;
+  cp.cp_l2_miss <- Json.int_field "l2_miss" v;
+  Array.blit (int_arr_of (Json.member "l2_fail" v)) 0 cp.cp_l2_fail 0 n_fail;
+  cp
+
+let cls_of_name = function
+  | "D" -> Dataflow.Classify.Deterministic
+  | _ -> Dataflow.Classify.Nondeterministic
+
+let pc_to_json pp =
+  Json.Obj
+    [ ("kernel", Json.Str pp.pp_kernel);
+      ("pc", Json.Int pp.pp_pc);
+      ("cls", Json.Str (Trace.cls_name pp.pp_cls));
+      ("issues", Json.Int pp.pp_issues);
+      ("returns", Json.Int pp.pp_returns);
+      ("sum_turnaround", Json.Int pp.pp_sum_turnaround);
+      ("hist", int_arr pp.pp_hist) ]
+
+let pc_of_json v =
+  let pp =
+    { pp_kernel = Json.str_field "kernel" v;
+      pp_pc = Json.int_field "pc" v;
+      pp_cls = cls_of_name (Json.str_field "cls" v);
+      pp_issues = Json.int_field "issues" v;
+      pp_returns = Json.int_field "returns" v;
+      pp_sum_turnaround = Json.int_field "sum_turnaround" v;
+      pp_hist = Array.make n_buckets 0 }
+  in
+  Array.blit (int_arr_of (Json.member "hist" v)) 0 pp.pp_hist 0 n_buckets;
+  pp
+
+let to_json t =
+  let pcs =
+    Hashtbl.fold (fun _ pp acc -> pp :: acc) t.per_pc []
+    |> List.sort (fun a b ->
+           match compare a.pp_kernel b.pp_kernel with
+           | 0 -> compare a.pp_pc b.pp_pc
+           | c -> c)
+  in
+  let occ =
+    occ_sorted t
+    |> List.map (fun s ->
+           Json.Arr
+             [ Json.Int s.oc_cycle; Json.Int s.oc_sm; Json.Int s.oc_mshr;
+               Json.Int s.oc_ldst ])
+  in
+  Json.Obj
+    [ ("schema", Json.Str "critload-profile-v1");
+      ("class_d", class_to_json t.per_class.(0));
+      ("class_n", class_to_json t.per_class.(1));
+      ("per_pc", Json.Arr (List.map pc_to_json pcs));
+      ("store_ok", Json.Int t.store_ok);
+      ("st_fail", int_arr t.st_fail);
+      ("l2_store_fail", Json.Int t.l2_store_fail);
+      ("prefetch_probes", Json.Int t.prefetch_probes);
+      ("prefetch_misses", Json.Int t.prefetch_misses);
+      ("l1_merge_intra", Json.Int t.l1_merge_intra);
+      ("l1_merge_inter", Json.Int t.l1_merge_inter);
+      ("l2_merge_intra", Json.Int t.l2_merge_intra);
+      ("l2_merge_inter", Json.Int t.l2_merge_inter);
+      ("dram_reads", Json.Int t.dram_reads);
+      ("dram_writes", Json.Int t.dram_writes);
+      ("icnt_req_enq", Json.Int t.icnt_req_enq);
+      ("icnt_req_deq", Json.Int t.icnt_req_deq);
+      ("icnt_resp_enq", Json.Int t.icnt_resp_enq);
+      ("icnt_resp_deq", Json.Int t.icnt_resp_deq);
+      ("occupancy", Json.Arr occ) ]
+
+let of_json v =
+  let t = create () in
+  merge_class ~dst:t.per_class.(0)
+    ~src:(class_of_json (Json.member "class_d" v));
+  merge_class ~dst:t.per_class.(1)
+    ~src:(class_of_json (Json.member "class_n" v));
+  List.iter
+    (fun pv ->
+      let pp = pc_of_json pv in
+      Hashtbl.replace t.per_pc (pp.pp_kernel, pp.pp_pc) pp)
+    (Json.get_list (Json.member "per_pc" v));
+  t.store_ok <- Json.int_field "store_ok" v;
+  Array.blit (int_arr_of (Json.member "st_fail" v)) 0 t.st_fail 0 n_fail;
+  t.l2_store_fail <- Json.int_field "l2_store_fail" v;
+  t.prefetch_probes <- Json.int_field "prefetch_probes" v;
+  t.prefetch_misses <- Json.int_field "prefetch_misses" v;
+  t.l1_merge_intra <- Json.int_field "l1_merge_intra" v;
+  t.l1_merge_inter <- Json.int_field "l1_merge_inter" v;
+  t.l2_merge_intra <- Json.int_field "l2_merge_intra" v;
+  t.l2_merge_inter <- Json.int_field "l2_merge_inter" v;
+  t.dram_reads <- Json.int_field "dram_reads" v;
+  t.dram_writes <- Json.int_field "dram_writes" v;
+  t.icnt_req_enq <- Json.int_field "icnt_req_enq" v;
+  t.icnt_req_deq <- Json.int_field "icnt_req_deq" v;
+  t.icnt_resp_enq <- Json.int_field "icnt_resp_enq" v;
+  t.icnt_resp_deq <- Json.int_field "icnt_resp_deq" v;
+  t.occ <-
+    List.rev_map
+      (fun s ->
+        match Json.get_list s with
+        | [ c; sm; m; l ] ->
+            { oc_cycle = Json.get_int c; oc_sm = Json.get_int sm;
+              oc_mshr = Json.get_int m; oc_ldst = Json.get_int l }
+        | _ -> raise (Json.Parse_error "occupancy sample shape"))
+      (Json.get_list (Json.member "occupancy" v));
+  t
+
+(* ---- human-readable summary (`critload trace APP --format summary`) ---- *)
+
+let pp_summary ppf t =
+  let pr fmt = Format.fprintf ppf fmt in
+  let class_block name cp =
+    pr "%s loads: %d issued, %d returned, avg turnaround %.1f, max %d@."
+      name cp.cp_issues cp.cp_returns
+      (if cp.cp_returns = 0 then 0.0
+       else float_of_int cp.cp_sum_turnaround /. float_of_int cp.cp_returns)
+      cp.cp_max_turnaround;
+    let total = Array.fold_left ( + ) 0 cp.cp_hist in
+    if total > 0 then begin
+      pr "  turnaround histogram (cycles):@.";
+      Array.iteri
+        (fun i n ->
+          if n > 0 then
+            pr "    %-14s %8d  %5.1f%%@." (bucket_label i) n
+              (100.0 *. float_of_int n /. float_of_int total))
+        cp.cp_hist
+    end;
+    pr "  L1: %d hit, %d merge, %d miss; rsrv fails: %d tags, %d mshr, %d icnt@."
+      cp.cp_l1_hit cp.cp_l1_merge cp.cp_l1_miss cp.cp_l1_fail.(0)
+      cp.cp_l1_fail.(1) cp.cp_l1_fail.(2);
+    pr "  L2: %d access, %d miss; rsrv fails: %d tags, %d mshr, %d icnt@."
+      cp.cp_l2_access cp.cp_l2_miss cp.cp_l2_fail.(0) cp.cp_l2_fail.(1)
+      cp.cp_l2_fail.(2)
+  in
+  class_block "D" t.per_class.(0);
+  class_block "N" t.per_class.(1);
+  pr "stores: %d accepted; rsrv fails: %d tags, %d mshr, %d icnt; %d L2 fails@."
+    t.store_ok t.st_fail.(0) t.st_fail.(1) t.st_fail.(2) t.l2_store_fail;
+  let l1m = t.l1_merge_intra + t.l1_merge_inter in
+  let l2m = t.l2_merge_intra + t.l2_merge_inter in
+  pr "MSHR merges: L1 %d (%d intra-CTA, %d inter-CTA), L2 %d (%d intra, %d inter)@."
+    l1m t.l1_merge_intra t.l1_merge_inter l2m t.l2_merge_intra
+    t.l2_merge_inter;
+  pr "DRAM: %d reads, %d writes; icnt: %d req, %d resp@." t.dram_reads
+    t.dram_writes t.icnt_req_enq t.icnt_resp_enq;
+  (match occ_sorted t with
+  | [] -> ()
+  | samples ->
+      let by_sm = Hashtbl.create 16 in
+      List.iter
+        (fun s ->
+          let sum, peak, n =
+            Option.value (Hashtbl.find_opt by_sm s.oc_sm) ~default:(0, 0, 0)
+          in
+          Hashtbl.replace by_sm s.oc_sm
+            (sum + s.oc_mshr, max peak s.oc_mshr, n + 1))
+        samples;
+      let sms = Hashtbl.fold (fun k v acc -> (k, v) :: acc) by_sm [] in
+      let sms = List.sort compare sms in
+      pr "MSHR occupancy (%d samples):@." (List.length samples);
+      List.iter
+        (fun (sm, (sum, peak, n)) ->
+          pr "  SM %2d: avg %5.1f, peak %3d@." sm
+            (float_of_int sum /. float_of_int (max 1 n))
+            peak)
+        sms);
+  let hot =
+    Hashtbl.fold (fun _ pp acc -> pp :: acc) t.per_pc []
+    |> List.sort (fun a b ->
+           match compare b.pp_sum_turnaround a.pp_sum_turnaround with
+           | 0 -> compare (a.pp_kernel, a.pp_pc) (b.pp_kernel, b.pp_pc)
+           | c -> c)
+    |> List.filteri (fun i _ -> i < 10)
+  in
+  if hot <> [] then begin
+    pr "hottest loads by total turnaround:@.";
+    List.iter
+      (fun pp ->
+        pr "  %-16s pc %3d %s  %8d returns, avg turnaround %8.1f@."
+          pp.pp_kernel pp.pp_pc
+          (Trace.cls_name pp.pp_cls)
+          pp.pp_returns
+          (if pp.pp_returns = 0 then 0.0
+           else
+             float_of_int pp.pp_sum_turnaround /. float_of_int pp.pp_returns))
+      hot
+  end
+
+let summary_to_string t = Format.asprintf "%a" pp_summary t

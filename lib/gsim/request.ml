@@ -22,6 +22,7 @@ type level = Lvl_l1 | Lvl_l2 | Lvl_dram
 type warp_load = {
   wl_sm : int;
   wl_warp_slot : int; (* index into the SM warp table, for wake-up *)
+  wl_cta : int; (* linear CTA id, -1 when not attributable *)
   wl_kernel : string;
   wl_pc : int;
   wl_cls : Dataflow.Classify.load_class;
@@ -41,6 +42,7 @@ type t = {
   req_id : int;
   line_addr : int;
   sm_id : int;
+  cta : int; (* requesting CTA, -1 when not attributable (prefetch) *)
   kind : kind;
   cls : Dataflow.Classify.load_class;
   wl : warp_load option; (* None for stores *)
@@ -58,12 +60,13 @@ type t = {
 
 let next_id = ref 0
 
-let make ~line_addr ~sm_id ~kind ~cls ~wl ~now =
+let make ~cta ~line_addr ~sm_id ~kind ~cls ~wl ~now =
   incr next_id;
   {
     req_id = !next_id;
     line_addr;
     sm_id;
+    cta;
     kind;
     cls;
     wl;
@@ -79,10 +82,11 @@ let make ~line_addr ~sm_id ~kind ~cls ~wl ~now =
     no_fill = false;
   }
 
-let make_warp_load ~sm ~warp_slot ~kernel ~pc ~cls ~active ~now =
+let make_warp_load ~cta ~sm ~warp_slot ~kernel ~pc ~cls ~active ~now =
   {
     wl_sm = sm;
     wl_warp_slot = warp_slot;
+    wl_cta = cta;
     wl_kernel = kernel;
     wl_pc = pc;
     wl_cls = cls;

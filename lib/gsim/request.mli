@@ -15,6 +15,7 @@ type level = Lvl_l1 | Lvl_l2 | Lvl_dram
 type warp_load = {
   wl_sm : int;
   wl_warp_slot : int;  (** SM warp-table index, for wake-up *)
+  wl_cta : int;  (** linear CTA id, [-1] when not attributable *)
   wl_kernel : string;
   wl_pc : int;
   wl_cls : Dataflow.Classify.load_class;
@@ -35,6 +36,7 @@ type t = {
   req_id : int;
   line_addr : int;
   sm_id : int;
+  cta : int;  (** requesting CTA, [-1] when not attributable (prefetch) *)
   kind : kind;
   cls : Dataflow.Classify.load_class;
   wl : warp_load option;  (** [None] for stores *)
@@ -51,6 +53,7 @@ type t = {
 }
 
 val make :
+  cta:int ->
   line_addr:int ->
   sm_id:int ->
   kind:kind ->
@@ -60,6 +63,7 @@ val make :
   t
 
 val make_warp_load :
+  cta:int ->
   sm:int ->
   warp_slot:int ->
   kernel:string ->

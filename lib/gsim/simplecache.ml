@@ -1,7 +1,14 @@
 (* Minimal serial set-associative LRU cache: every access resolves
    immediately (hit, or miss + fill).  Used by the functional simulator
    to emulate the CUDA-profiler hit/miss counters (Table III), where no
-   timing or in-flight state is involved. *)
+   timing or in-flight state is involved.
+
+   Counting convention, shared with [Cache]: each logical access counts
+   exactly once (hit or miss).  [Cache] additionally sees
+   reservation-fail retry probes, which it counts in separate fail
+   slots; its completed accesses (hit + hit-reserved + miss) therefore
+   line up with [accesses] here — the invariant the trace/stats
+   reconciliation regression test pins down. *)
 
 type t = {
   sets : int;
@@ -51,6 +58,9 @@ let access t la =
     lru.(!victim) <- t.time;
     false
   end
+
+(* Completed accesses — same meaning as [Cache.completed_accesses]. *)
+let accesses t = t.hits + t.misses
 
 let miss_ratio t =
   let total = t.hits + t.misses in

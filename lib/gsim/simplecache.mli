@@ -20,4 +20,9 @@ val line_addr : t -> int -> int
 val access : t -> int -> bool
 (** Access one line address; true on hit.  Misses allocate (LRU). *)
 
+val accesses : t -> int
+(** Completed accesses (hits + misses) — each logical access exactly
+    once, the convention {!Cache.completed_accesses} mirrors so
+    trace-derived counts reconcile across both cache models. *)
+
 val miss_ratio : t -> float

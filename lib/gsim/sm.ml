@@ -42,6 +42,7 @@ type pending_mem = {
   mutable pm_groups : int list list;
   pm_kind : Request.kind;
   pm_cls : cls;
+  pm_cta : int; (* issuing CTA, for MSHR locality attribution *)
   pm_prefetch : bool; (* next-line prefetch on miss *)
   pm_bypass : bool; (* skip the L1 *)
 }
@@ -52,6 +53,7 @@ type t = {
   id : int;
   cfg : Config.t;
   stats : Stats.t;
+  trace : Trace.t;
   l1 : Cache.t;
   mutable slots : slot array;
   mutable residents : resident list;
@@ -64,11 +66,12 @@ type t = {
   mutable completed_ctas : int;
 }
 
-let create (cfg : Config.t) ~id ~stats ~warp_slots =
+let create ?(trace = Trace.null ()) (cfg : Config.t) ~id ~stats ~warp_slots =
   {
     id;
     cfg;
     stats;
+    trace;
     l1 =
       Cache.create ~sets:cfg.Config.l1_sets ~ways:cfg.Config.l1_ways
         ~line_size:cfg.Config.line_size
@@ -187,6 +190,14 @@ let complete_request t ~now (req : Request.t) =
       wl.Request.wl_outstanding <- wl.Request.wl_outstanding - 1;
       if wl.Request.wl_outstanding = 0 then begin
         Stats.record_warp_load_done t.stats t.cfg wl;
+        if Trace.enabled t.trace then
+          Trace.emit t.trace
+            (Trace.Ev_load_return
+               { cycle = now; sm = t.id; cta = wl.Request.wl_cta;
+                 kernel = wl.Request.wl_kernel; pc = wl.Request.wl_pc;
+                 cls = wl.Request.wl_cls; nreq = wl.Request.wl_nreq;
+                 turnaround = now - wl.Request.wl_t_issue;
+                 level = wl.Request.wl_deepest });
         let slot = t.slots.(wl.Request.wl_warp_slot) in
         if slot.state = W_waiting_mem then slot.state <- W_ready
       end
@@ -202,7 +213,16 @@ let process_returns t ~now ~icnt =
         decr budget;
         let waiters =
           if req.Request.no_fill then []
-          else Cache.fill t.l1 ~line_addr:req.Request.line_addr
+          else begin
+            let ws = Cache.fill t.l1 ~line_addr:req.Request.line_addr in
+            if Trace.enabled t.trace then
+              Trace.emit t.trace
+                (Trace.Ev_mshr_free
+                   { cycle = now; where = Trace.S_l1 t.id;
+                     line = req.Request.line_addr;
+                     waiters = List.length ws });
+            ws
+          end
         in
         complete_request t ~now req;
         List.iter
@@ -255,26 +275,38 @@ let ldst_cycle t ~now ~icnt =
               if Icnt.can_inject icnt ~sm:t.id then begin
                 Cache.invalidate t.l1 ~line_addr:line;
                 let req =
-                  Request.make ~line_addr:line ~sm_id:t.id ~kind:Request.Store
-                    ~cls:pm.pm_cls ~wl:None ~now
+                  Request.make ~cta:pm.pm_cta ~line_addr:line ~sm_id:t.id
+                    ~kind:Request.Store ~cls:pm.pm_cls ~wl:None ~now
                 in
                 req.Request.t_accept <- now;
                 Icnt.inject_request icnt ~now req;
                 Stats.record_l1_store_event t.stats Cache.Miss;
+                if Trace.enabled t.trace then
+                  Trace.emit t.trace
+                    (Trace.Ev_access
+                       { cycle = now; where = Trace.S_l1 t.id; line;
+                         src = Trace.A_store; outcome = Cache.Miss });
                 t.stats.Stats.global_stores <- t.stats.Stats.global_stores + 1;
                 pm.pm_lines <- rest
               end
-              else
+              else begin
                 Stats.record_l1_store_event t.stats
-                  (Cache.Rsrv_fail Cache.Fail_icnt)
+                  (Cache.Rsrv_fail Cache.Fail_icnt);
+                if Trace.enabled t.trace then
+                  Trace.emit t.trace
+                    (Trace.Ev_access
+                       { cycle = now; where = Trace.S_l1 t.id; line;
+                         src = Trace.A_store;
+                         outcome = Cache.Rsrv_fail Cache.Fail_icnt })
+              end
           | Request.Load | Request.Atomic when pm.pm_bypass ->
               (* instruction-aware L1 bypass: the request goes straight
                  to the L2, no tag or MSHR is reserved and the response
                  will not fill the L1 *)
               if Icnt.can_inject icnt ~sm:t.id then begin
                 let req =
-                  Request.make ~line_addr:line ~sm_id:t.id ~kind:pm.pm_kind
-                    ~cls:pm.pm_cls ~wl:pm.pm_wl ~now
+                  Request.make ~cta:pm.pm_cta ~line_addr:line ~sm_id:t.id
+                    ~kind:pm.pm_kind ~cls:pm.pm_cls ~wl:pm.pm_wl ~now
                 in
                 (match pm.pm_wl with
                 | Some wl -> req.Request.t_issue <- wl.Request.wl_t_issue
@@ -285,20 +317,56 @@ let ldst_cycle t ~now ~icnt =
                 Icnt.inject_request icnt ~now req;
                 pm.pm_lines <- rest
               end
-              else
-                Stats.record_l1_store_event t.stats
-                  (Cache.Rsrv_fail Cache.Fail_icnt)
+              else begin
+                (* a stalled bypass load is still a load-side icnt
+                   reservation failure: record it with its D/N class
+                   (the store recorder used here previously dropped the
+                   class, splitting trace and stats accounting) *)
+                Stats.record_l1_event t.stats
+                  (Cache.Rsrv_fail Cache.Fail_icnt) pm.pm_cls;
+                if Trace.enabled t.trace then
+                  Trace.emit t.trace
+                    (Trace.Ev_access
+                       { cycle = now; where = Trace.S_l1 t.id; line;
+                         src = Trace.A_load pm.pm_cls;
+                         outcome = Cache.Rsrv_fail Cache.Fail_icnt })
+              end
           | Request.Load | Request.Atomic -> (
               let req =
-                Request.make ~line_addr:line ~sm_id:t.id ~kind:pm.pm_kind
-                  ~cls:pm.pm_cls ~wl:pm.pm_wl ~now
+                Request.make ~cta:pm.pm_cta ~line_addr:line ~sm_id:t.id
+                  ~kind:pm.pm_kind ~cls:pm.pm_cls ~wl:pm.pm_wl ~now
               in
               (match pm.pm_wl with
               | Some wl -> req.Request.t_issue <- wl.Request.wl_t_issue
               | None -> ());
               let icnt_ok = Icnt.can_inject icnt ~sm:t.id in
+              (* MSHR merges need the allocating CTA before the probe
+                 prepends this request to the waiter list *)
+              let owner_cta =
+                if Trace.enabled t.trace then
+                  Cache.mshr_owner_cta t.l1 ~line_addr:line
+                else -1
+              in
               let outcome = Cache.access_load t.l1 ~req ~icnt_ok in
               Stats.record_l1_event t.stats outcome pm.pm_cls;
+              if Trace.enabled t.trace then begin
+                Trace.emit t.trace
+                  (Trace.Ev_access
+                     { cycle = now; where = Trace.S_l1 t.id; line;
+                       src = Trace.A_load pm.pm_cls; outcome });
+                match outcome with
+                | Cache.Miss ->
+                    Trace.emit t.trace
+                      (Trace.Ev_mshr_alloc
+                         { cycle = now; where = Trace.S_l1 t.id; line;
+                           cta = pm.pm_cta })
+                | Cache.Hit_reserved ->
+                    Trace.emit t.trace
+                      (Trace.Ev_mshr_merge
+                         { cycle = now; where = Trace.S_l1 t.id; line;
+                           cta = pm.pm_cta; owner_cta })
+                | Cache.Hit | Cache.Rsrv_fail _ -> ()
+              end;
               match outcome with
               | Cache.Hit ->
                   req.Request.t_accept <- now;
@@ -324,7 +392,7 @@ let ldst_cycle t ~now ~icnt =
                     let pline = line + t.cfg.Config.line_size in
                     if Cache.probe t.l1 ~line_addr:pline = `Absent then begin
                       let preq =
-                        Request.make ~line_addr:pline ~sm_id:t.id
+                        Request.make ~cta:(-1) ~line_addr:pline ~sm_id:t.id
                           ~kind:Request.Load ~cls:pm.pm_cls ~wl:None ~now
                       in
                       match
@@ -381,8 +449,9 @@ let issue_mem t ~now ~slot_idx (w : Warp.t) (m : Warp.mem_op) =
           ~width:pol.Config.lp_split ~mask:m.Warp.m_mask ~addrs:m.Warp.m_addrs
       in
       let total = List.fold_left (fun a g -> a + List.length g) 0 groups in
+      let cta = w.Warp.cta_lin in
       let wl =
-        Request.make_warp_load ~sm:t.id ~warp_slot:slot_idx ~kernel
+        Request.make_warp_load ~cta ~sm:t.id ~warp_slot:slot_idx ~kernel
           ~pc:m.Warp.m_pc ~cls ~active:(Warp.popcount m.Warp.m_mask) ~now
       in
       wl.Request.wl_nreq <- total;
@@ -390,17 +459,23 @@ let issue_mem t ~now ~slot_idx (w : Warp.t) (m : Warp.mem_op) =
       (match groups with
       | [] -> slot.state <- W_blocked_until (now + 1)
       | g :: rest ->
+          if Trace.enabled t.trace then
+            Trace.emit t.trace
+              (Trace.Ev_load_issue
+                 { cycle = now; sm = t.id; cta; warp_slot = slot_idx;
+                   kernel; pc = m.Warp.m_pc; cls;
+                   active = Warp.popcount m.Warp.m_mask; nreq = total });
           Queue.push
             { pm_wl = Some wl; pm_lines = g; pm_groups = rest;
               pm_kind =
                 (if m.Warp.m_kind = Warp.Atomic then Request.Atomic
                  else Request.Load);
               pm_cls = cls;
+              pm_cta = cta;
               pm_prefetch = pol.Config.lp_prefetch;
               pm_bypass = pol.Config.lp_bypass }
             t.ldst_q;
-          slot.state <- W_waiting_mem);
-      ignore w
+          slot.state <- W_waiting_mem)
   | Ptx.Types.Global, Warp.Store ->
       let lines =
         Coalesce.lines ~line_size:cfg.Config.line_size ~mask:m.Warp.m_mask
@@ -409,6 +484,7 @@ let issue_mem t ~now ~slot_idx (w : Warp.t) (m : Warp.mem_op) =
       Queue.push
         { pm_wl = None; pm_lines = lines; pm_groups = [];
           pm_kind = Request.Store; pm_cls = Dataflow.Classify.Deterministic;
+          pm_cta = w.Warp.cta_lin;
           pm_prefetch = false; pm_bypass = false }
         t.ldst_q;
       (* stores are fire-and-forget: the warp continues *)
@@ -510,6 +586,10 @@ let cycle t ~now ~icnt =
 
 let idle t =
   t.residents = [] && Queue.is_empty t.ldst_q && Queue.is_empty t.hit_pending
+
+(* (in-flight L1 MSHR entries, LD/ST queue depth) — the per-SM
+   occupancy timeline the trace layer samples. *)
+let occupancy_sample t = (Cache.mshr_in_use t.l1, Queue.length t.ldst_q)
 
 (* (cta, warp id, pc) of every warp parked at a barrier — the stall
    watchdog uses this to tell a barrier deadlock from a livelock. *)

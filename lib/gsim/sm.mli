@@ -11,7 +11,11 @@
 
 type t
 
-val create : Config.t -> id:int -> stats:Stats.t -> warp_slots:int -> t
+val create :
+  ?trace:Trace.t -> Config.t -> id:int -> stats:Stats.t -> warp_slots:int -> t
+(** [?trace] defaults to a null sink; emission sites are guarded by
+    {!Trace.enabled} so the disabled path costs one mutable-field
+    read. *)
 
 val reconfigure : t -> warp_slots:int -> unit
 (** Resize the warp-slot table for a new launch; caches persist across
@@ -24,6 +28,10 @@ val try_launch : t -> Launch.t -> cta_lin:int -> bool
 
 val cycle : t -> now:int -> icnt:Icnt.t -> unit
 val idle : t -> bool
+
+val occupancy_sample : t -> int * int
+(** (in-flight L1 MSHR entries, LD/ST queue depth) — the per-SM
+    occupancy timeline {!Gpu.step} samples when tracing. *)
 
 val barrier_waiters : t -> (int * int * int) list
 (** [(cta, warp, pc)] of every warp parked at a barrier; the stall

@@ -19,7 +19,14 @@ let all : App.t list =
     App_mis.app;
   ]
 
+(* Spelling aliases: the paper and our docs write "mm2" for the
+   registry's "2mm" (identifiers cannot start with a digit). *)
+let aliases = [ ("mm2", "2mm") ]
+
 let find name =
+  let name =
+    match List.assoc_opt name aliases with Some n -> n | None -> name
+  in
   match List.find_opt (fun a -> a.App.name = name) all with
   | Some a -> a
   | None ->

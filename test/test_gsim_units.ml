@@ -5,8 +5,8 @@
 open Ptx.Types
 module B = Ptx.Builder
 
-let mk_req ?(sm = 0) ?(kind = Gsim.Request.Load) line =
-  Gsim.Request.make ~line_addr:line ~sm_id:sm ~kind
+let mk_req ?(sm = 0) ?(kind = Gsim.Request.Load) ?(cta = -1) line =
+  Gsim.Request.make ~cta ~line_addr:line ~sm_id:sm ~kind
     ~cls:Dataflow.Classify.Deterministic ~wl:None ~now:0
 
 let outcome =

@@ -1,0 +1,51 @@
+(* Validates a JSONL event stream produced by `critload trace --format
+   jsonl`: every line must parse through the in-tree JSON reader and
+   decode into a Trace.event, and the stream must contain the event
+   kinds any real run is guaranteed to produce (load issues/returns,
+   cache probes, occupancy samples).  Exit 0 on success; any defect is
+   a diagnostic on stderr and exit 1. *)
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt
+
+let () =
+  let file =
+    match Sys.argv with
+    | [| _; f |] -> f
+    | _ -> fail "usage: validate_trace TRACE.jsonl"
+  in
+  let ic = try open_in file with Sys_error e -> fail "%s" e in
+  let n_events = ref 0 in
+  let issues = ref 0 and returns = ref 0 and accesses = ref 0 in
+  let occupancy = ref 0 in
+  let lineno = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lineno;
+       if line <> "" then begin
+         let ev =
+           try Gsim.Trace.event_of_json (Gsim.Stats_io.Json.of_string line)
+           with Gsim.Stats_io.Json.Parse_error e ->
+             fail "%s:%d: bad event: %s" file !lineno e
+         in
+         incr n_events;
+         match ev with
+         | Gsim.Trace.Ev_load_issue _ -> incr issues
+         | Gsim.Trace.Ev_load_return _ -> incr returns
+         | Gsim.Trace.Ev_access _ -> incr accesses
+         | Gsim.Trace.Ev_occupancy _ -> incr occupancy
+         | _ -> ()
+       end
+     done
+   with End_of_file -> ());
+  close_in ic;
+  if !n_events = 0 then fail "%s: empty trace" file;
+  if !issues = 0 then fail "%s: no load-issue events" file;
+  if !returns = 0 then fail "%s: no load-return events" file;
+  if !returns > !issues then
+    fail "%s: %d returns exceed %d issues" file !returns !issues;
+  if !accesses = 0 then fail "%s: no cache-probe events" file;
+  if !occupancy = 0 then fail "%s: no occupancy samples" file;
+  Printf.printf
+    "trace ok: %d events (%d issues, %d returns, %d probes, %d occupancy)\n"
+    !n_events !issues !returns !accesses !occupancy
