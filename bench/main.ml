@@ -70,6 +70,7 @@ let sweep ~jobs ~scale ~out_dir () =
           reason
     | P.Gave_up (j, reason) ->
         Printf.eprintf "sweep: %s FAILED: %s\n%!" j.P.sj_app reason
+    | P.Cached j -> Printf.eprintf "sweep: %s cached\n%!" j.P.sj_app
     | P.Started _ | P.Skipped _ -> ()
   in
   let outcomes = P.run ~workers:jobs ~timeout:1800. ~on_event job_list in
@@ -222,6 +223,9 @@ let () =
     | "--jobs" :: n :: rest ->
         jobs := int_of_string n;
         parse rest
+    | "--version" :: _ ->
+        print_endline Critload.Version.version;
+        exit 0
     | x :: rest ->
         selected := x :: !selected;
         parse rest

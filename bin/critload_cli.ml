@@ -11,6 +11,10 @@
 
 open Cmdliner
 
+(* Every subcommand carries the package version, so `critload --version`
+   and `critload SUBCOMMAND --version` both answer. *)
+let cmd_info name ~doc = Cmd.info name ~doc ~version:Critload.Version.version
+
 let scale_arg =
   let scale_conv =
     Arg.enum
@@ -34,6 +38,35 @@ let app_arg =
     & pos 0 (some string) None
     & info [] ~docv:"APP" ~doc:"Application name (see `critload list`).")
 
+(* Shared option spellings: every subcommand that writes a file, forks
+   workers, selects an output encoding or filters by kernel uses the
+   same flag names. *)
+
+let out_arg ?(doc = "Output file ('-' for stdout).") () =
+  Arg.(value & opt string "-" & info [ "out"; "o" ] ~docv:"FILE" ~doc)
+
+let jobs_arg ?(default = 4) () =
+  Arg.(
+    value & opt int default
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:"Number of concurrent worker processes.")
+
+let format_arg ~alts ~default ~doc =
+  Arg.(value & opt (Arg.enum alts) default & info [ "format" ] ~docv:"FMT" ~doc)
+
+let kernel_arg ~doc =
+  Arg.(value & opt (some string) None & info [ "kernel" ] ~docv:"K" ~doc)
+
+let no_fast_forward_arg =
+  Arg.(
+    value & flag
+    & info [ "no-fast-forward" ]
+        ~doc:
+          "Advance the cycle simulator one cycle at a time instead of \
+           jumping over quiescent windows.  Statistics and traces are \
+           identical either way (see DESIGN.md); this exists for \
+           cross-checking and timing-sensitive debugging.")
+
 (* ---- list ---- *)
 
 let list_cmd =
@@ -45,7 +78,7 @@ let list_cmd =
           a.Workloads.App.description)
       Workloads.Suite.all
   in
-  Cmd.v (Cmd.info "list" ~doc:"List the 15 applications of the suite.")
+  Cmd.v (cmd_info "list" ~doc:"List the 15 applications of the suite.")
     Term.(const run $ const ())
 
 (* ---- verify ---- *)
@@ -85,7 +118,9 @@ let verify_kernel_report k =
   List.length errors
 
 let verify_cmd =
-  let run target scale =
+  let module P = Critload.Parsweep in
+  let module Json = Gsim.Stats_io.Json in
+  let run target scale jobs out =
     match target with
     | Some t ->
         (* static verification only: fast, no simulation *)
@@ -115,24 +150,41 @@ let verify_cmd =
         in
         if errors > 0 then exit 1
     | None ->
+        (* whole-suite functional verification, over the same worker
+           pool the sweep uses *)
+        let apps =
+          List.map
+            (fun (a : Workloads.App.t) -> a.Workloads.App.name)
+            Workloads.Suite.all
+        in
+        let job_list =
+          P.jobs ~apps ~scales:[ scale ]
+            ~cfgs:[ ("base", Gsim.Config.default) ]
+            ~mode:P.Func ()
+        in
+        let outcomes = P.run ~workers:jobs job_list in
         let failures = ref 0 in
-        List.iter
-          (fun (app : Workloads.App.t) ->
-            let t0 = Unix.gettimeofday () in
-            match Critload.Runner.run_func_result ~check:true app scale with
-            | Error e ->
+        List.iteri
+          (fun i (j : P.job) ->
+            match outcomes.(i) with
+            | P.Failed msg ->
                 incr failures;
-                Printf.printf "%-6s FAIL  %s\n" app.Workloads.App.name
-                  (Gsim.Sim_error.to_string e)
-            | Ok r ->
-                let ok = r.Critload.Runner.fr_check in
+                Printf.printf "%-6s FAIL  %s\n" j.P.sj_app msg
+            | P.Completed payload ->
+                let f = P.func_summary_of_json payload in
+                let ok = f.P.fu_check in
                 if not ok then incr failures;
-                Printf.printf "%-6s %-4s  %8d warp insts  (%.2fs)\n"
-                  app.Workloads.App.name
+                Printf.printf "%-6s %-4s  %8d warp insts\n" j.P.sj_app
                   (if ok then "OK" else "FAIL")
-                  r.Critload.Runner.fr_fs.Gsim.Funcsim.warp_insts
-                  (Unix.gettimeofday () -. t0))
-          Workloads.Suite.all;
+                  f.P.fu_warp_insts)
+          job_list;
+        (if out <> "-" then begin
+           let oc = open_out out in
+           Json.to_channel oc (P.sweep_to_json ~jobs:job_list ~outcomes);
+           output_char oc '\n';
+           close_out oc;
+           Printf.eprintf "verify: wrote %s\n%!" out
+         end);
         if !failures > 0 then exit 1
   in
   let target =
@@ -145,13 +197,19 @@ let verify_cmd =
              file) and print the diagnostics.  Without it, run every \
              application functionally and check the results.")
   in
-  Cmd.v
-    (Cmd.info "verify"
+      Cmd.v
+      (cmd_info "verify"
        ~doc:
          "Check applications: statically verify one app's kernels, or \
           (no argument) run the whole suite functionally against the \
           host references.")
-    Term.(const run $ target $ scale_arg)
+    Term.(
+      const run $ target $ scale_arg $ jobs_arg ()
+      $ out_arg
+          ~doc:
+            "Also export the functional results as a sweep-format JSON \
+             document to $(docv) ('-', the default, writes no file)."
+          ())
 
 (* ---- classify ---- *)
 
@@ -204,8 +262,8 @@ let classify_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"APP|FILE" ~doc:"Application name or .ptx file.")
   in
-  Cmd.v
-    (Cmd.info "classify"
+      Cmd.v
+      (cmd_info "classify"
        ~doc:"Print the deterministic / non-deterministic load classification.")
     Term.(const run $ target)
 
@@ -263,8 +321,8 @@ let characterize_cmd =
         Printf.printf "  %-14s pc %3d  %8d warp loads\n" kernel pc count)
       hot
   in
-  Cmd.v
-    (Cmd.info "characterize"
+      Cmd.v
+      (cmd_info "characterize"
        ~doc:"Functional characterization of one application.")
     Term.(const run $ app_arg $ scale_arg)
 
@@ -293,8 +351,8 @@ let dot_cmd =
       & opt string "cfg"
       & info [ "kind" ] ~docv:"KIND" ~doc:"Graph to export: cfg or deps.")
   in
-  Cmd.v
-    (Cmd.info "dot"
+      Cmd.v
+      (cmd_info "dot"
        ~doc:
          "Export the first kernel's control-flow or dependence graph as \
           Graphviz dot.")
@@ -313,8 +371,8 @@ let advise_cmd =
     Printf.printf "%d of %d loads get a policy override\n" n_policies
       (List.length advice)
   in
-  Cmd.v
-    (Cmd.info "advise"
+      Cmd.v
+      (cmd_info "advise"
        ~doc:
          "Per-load instruction-aware policy advice (paper Section X.A): \
           prefetch walking non-deterministic loads, split gathers.")
@@ -323,17 +381,21 @@ let advise_cmd =
 (* ---- simulate (cycle-level) ---- *)
 
 let simulate_cmd =
-  let run name scale cap =
+  let run name scale cap no_ff =
     let app = Workloads.Suite.find name in
-    let cfg = { Gsim.Config.default with Gsim.Config.max_warp_insts = cap } in
-    let r =
-      match Critload.Runner.run_timing_result ~cfg app scale with
+    let cfg =
+      Gsim.Config.default |> Gsim.Config.with_caps ~max_warp_insts:cap ()
+    in
+    let report =
+      match
+        Critload.Runner.run ~cfg ~scale ~fast_forward:(not no_ff) app
+      with
       | Ok r -> r
       | Error e ->
           Printf.eprintf "simulate: %s\n" (Gsim.Sim_error.to_string e);
           exit 1
     in
-    let s = r.Critload.Runner.tr_stats in
+    let s = Critload.Runner.Report.stats_exn report in
     let open Dataflow.Classify in
     Printf.printf "cycles: %d, warp instructions: %d, CTAs completed: %d%s\n"
       s.Gsim.Stats.cycles s.Gsim.Stats.warp_insts s.Gsim.Stats.completed_ctas
@@ -366,16 +428,18 @@ let simulate_cmd =
       (100. *. Gsim.Stats.unit_busy_fraction s ~n_sms Gsim.Exec.SFU)
       (100. *. Gsim.Stats.unit_busy_fraction s ~n_sms Gsim.Exec.LDST)
   in
-  Cmd.v
-    (Cmd.info "simulate" ~doc:"Cycle-level simulation of one application.")
-    Term.(const run $ app_arg $ scale_arg $ cap_arg)
+      Cmd.v
+      (cmd_info "simulate" ~doc:"Cycle-level simulation of one application.")
+    Term.(const run $ app_arg $ scale_arg $ cap_arg $ no_fast_forward_arg)
 
 (* ---- trace (cycle-level observability) ---- *)
 
 let trace_cmd =
-  let run name scale cap kernel format out =
+  let run name scale cap kernel format out no_ff =
     let app = Workloads.Suite.find name in
-    let cfg = { Gsim.Config.default with Gsim.Config.max_warp_insts = cap } in
+    let cfg =
+      Gsim.Config.default |> Gsim.Config.with_caps ~max_warp_insts:cap ()
+    in
     let with_out f =
       match out with
       | "-" -> f stdout
@@ -383,10 +447,10 @@ let trace_cmd =
           let oc = open_out file in
           Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
     in
-    let run_traced ~trace =
+    let run_traced ?trace ?profile () =
       match
-        Critload.Runner.run_timing_result ~cfg ~trace ?trace_kernel:kernel
-          app scale
+        Critload.Runner.run ~cfg ~scale ?trace ?trace_kernel:kernel ?profile
+          ~fast_forward:(not no_ff) app
       with
       | Ok r -> r
       | Error e ->
@@ -395,9 +459,9 @@ let trace_cmd =
     in
     match format with
     | `Summary ->
-        let profile = Gsim.Profile.create () in
-        let r = run_traced ~trace:(Gsim.Profile.sink profile) in
-        let s = r.Critload.Runner.tr_stats in
+        let r = run_traced ~profile:true () in
+        let s = Critload.Runner.Report.stats_exn r in
+        let profile = Option.get r.Critload.Runner.Report.profile in
         with_out (fun oc ->
             Printf.fprintf oc "app: %s  cycles: %d  warp insts: %d%s\n" name
               s.Gsim.Stats.cycles s.Gsim.Stats.warp_insts
@@ -405,57 +469,48 @@ let trace_cmd =
             output_string oc (Gsim.Profile.summary_to_string profile))
     | `Jsonl ->
         with_out (fun oc ->
-            let r = run_traced ~trace:(Gsim.Trace.jsonl_sink oc) in
-            ignore r)
+            ignore (run_traced ~trace:(Gsim.Trace.jsonl_sink oc) ()))
     | `Chrome ->
         with_out (fun oc ->
             let trace, close_trace = Gsim.Trace.chrome_sink oc in
-            let r = run_traced ~trace in
-            close_trace ();
-            ignore r)
+            ignore (run_traced ~trace ());
+            close_trace ())
   in
   let kernel =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "kernel" ] ~docv:"K"
-          ~doc:
-            "Trace only launches of kernel $(docv); other launches still \
-             run (cache state flows across them) but emit no events.")
+    kernel_arg
+      ~doc:
+        "Trace only launches of kernel $(docv); other launches still \
+         run (cache state flows across them) but emit no events."
   in
   let format =
-    Arg.(
-      value
-      & opt (enum [ ("summary", `Summary); ("jsonl", `Jsonl);
-                    ("chrome", `Chrome) ])
-          `Summary
-      & info [ "format" ] ~docv:"FMT"
-          ~doc:
-            "Output format: $(b,summary) (per-category turnaround \
-             histograms, reservation-fail attribution, MSHR locality), \
-             $(b,jsonl) (one event object per line), or $(b,chrome) \
-             (chrome://tracing / Perfetto trace_event JSON).")
+    format_arg
+      ~alts:
+        [ ("summary", `Summary); ("jsonl", `Jsonl); ("chrome", `Chrome) ]
+      ~default:`Summary
+      ~doc:
+        "Output format: $(b,summary) (per-category turnaround \
+         histograms, reservation-fail attribution, MSHR locality), \
+         $(b,jsonl) (one event object per line), or $(b,chrome) \
+         (chrome://tracing / Perfetto trace_event JSON)."
   in
-  let out =
-    Arg.(
-      value & opt string "-"
-      & info [ "out"; "o" ] ~docv:"FILE"
-          ~doc:"Output file ('-' for stdout).")
-  in
-  Cmd.v
-    (Cmd.info "trace"
+  let out = out_arg () in
+      Cmd.v
+      (cmd_info "trace"
        ~doc:
          "Cycle-simulate one application with event tracing enabled: \
           per-load-category latency histograms and fail attribution \
           (summary), or the raw event stream (jsonl / chrome).")
-    Term.(const run $ app_arg $ scale_arg $ cap_arg $ kernel $ format $ out)
+    Term.(
+      const run $ app_arg $ scale_arg $ cap_arg $ kernel $ format $ out
+      $ no_fast_forward_arg)
 
 (* ---- sweep (parallel, JSON export) ---- *)
 
 let sweep_cmd =
   let module P = Critload.Parsweep in
   let module Json = Gsim.Stats_io.Json in
-  let run apps scale cap jobs timeout func no_warmup profile out resume =
+  let run apps scale cap jobs timeout func no_warmup profile out resume
+      format no_cache cache_dir no_ff =
     let apps =
       match apps with
       | [] -> List.map (fun (a : Workloads.App.t) -> a.Workloads.App.name)
@@ -474,11 +529,13 @@ let sweep_cmd =
          it)\n";
       exit 2
     end;
-    let cfg = { Gsim.Config.default with Gsim.Config.max_warp_insts = cap } in
+    let cfg =
+      Gsim.Config.default |> Gsim.Config.with_caps ~max_warp_insts:cap ()
+    in
     let mode = if func then P.Func else P.Timing in
     let job_list =
       P.jobs ~apps ~scales:[ scale ] ~cfgs:[ ("base", cfg) ] ~mode
-        ~warmup:(not no_warmup) ~profile ()
+        ~warmup:(not no_warmup) ~profile ~fast_forward:(not no_ff) ()
     in
     let total = List.length job_list in
     let finished = ref 0 in
@@ -505,6 +562,10 @@ let sweep_cmd =
           incr finished;
           Printf.eprintf "sweep: [%d/%d] %s skipped (checkpoint)\n%!"
             !finished total (tag j)
+      | P.Cached j ->
+          incr finished;
+          Printf.eprintf "sweep: [%d/%d] %s cached\n%!" !finished total
+            (tag j)
     in
     (* Completed jobs restored from the checkpoint are skipped; failed
        ones get a fresh chance (their failure may have been the crash
@@ -537,9 +598,11 @@ let sweep_cmd =
           flush oc
     in
     Sys.catch_break true;
+    let cache_dir = if no_cache then None else Some cache_dir in
     let outcomes =
-      try P.run ~workers:jobs ~timeout ~on_event ~prefilled ~on_result
-            job_list
+      try
+        P.run ~workers:jobs ~timeout ~on_event ~prefilled ~on_result
+          ?cache_dir job_list
       with Sys.Break ->
         Option.iter close_out ckpt_oc;
         (if out = "-" then
@@ -552,15 +615,23 @@ let sweep_cmd =
         exit 130
     in
     Option.iter close_out ckpt_oc;
-    let doc = P.sweep_to_json ~jobs:job_list ~outcomes in
+    let write_doc oc =
+      match format with
+      | `Json ->
+          Json.to_channel oc (P.sweep_to_json ~jobs:job_list ~outcomes);
+          output_char oc '\n'
+      | `Jsonl ->
+          List.iteri
+            (fun i j ->
+              Json.to_channel oc (P.job_envelope j outcomes.(i));
+              output_char oc '\n')
+            job_list
+    in
     (match out with
-    | "-" ->
-        Json.to_channel stdout doc;
-        print_newline ()
+    | "-" -> write_doc stdout
     | file ->
         let oc = open_out file in
-        Json.to_channel oc doc;
-        output_char oc '\n';
+        write_doc oc;
         close_out oc;
         (* the full document supersedes the checkpoint *)
         (try Sys.remove ckpt_path with Sys_error _ -> ());
@@ -575,12 +646,7 @@ let sweep_cmd =
       & info [ "apps" ] ~docv:"APPS"
           ~doc:"Comma-separated application names (default: all 15).")
   in
-  let jobs =
-    Arg.(
-      value & opt int 4
-      & info [ "jobs"; "j" ] ~docv:"N"
-          ~doc:"Number of concurrent worker processes.")
-  in
+  let jobs = jobs_arg () in
   let timeout =
     Arg.(
       value & opt float 600.
@@ -612,10 +678,35 @@ let sweep_cmd =
              fail attribution, MSHR locality) in each result.")
   in
   let out =
+    out_arg ~doc:"Output file for the JSON document ('-' for stdout)." ()
+  in
+  let format =
+    format_arg
+      ~alts:[ ("json", `Json); ("jsonl", `Jsonl) ]
+      ~default:`Json
+      ~doc:
+        "Output encoding: $(b,json) (one whole-sweep document) or \
+         $(b,jsonl) (one result envelope per line)."
+  in
+  let no_cache =
     Arg.(
-      value & opt string "-"
-      & info [ "out"; "o" ] ~docv:"FILE"
-          ~doc:"Output file for the JSON document ('-' for stdout).")
+      value & flag
+      & info [ "no-cache" ]
+          ~doc:
+            "Bypass the content-addressed result cache entirely: \
+             neither read nor write entries.")
+  in
+  let cache_dir =
+    Arg.(
+      value
+      & opt string ".critload-cache"
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:
+            "Directory of the content-addressed result cache.  Jobs \
+             whose digest — kernels (normalized text), launch geometry, \
+             dataset seed, full config, mode and simulator tag — \
+             matches a stored entry are served from it without \
+             re-simulating; completed jobs are stored back.")
   in
   let resume =
     Arg.(
@@ -628,14 +719,15 @@ let sweep_cmd =
              jobs, runs again.  The final document is identical to an \
              uninterrupted run's.")
   in
-  Cmd.v
-    (Cmd.info "sweep"
+      Cmd.v
+      (cmd_info "sweep"
        ~doc:
          "Run many applications through the simulator in parallel worker \
           processes and export every per-app statistic as JSON.")
     Term.(
       const run $ apps $ scale_arg $ cap_arg $ jobs $ timeout $ func
-      $ no_warmup $ profile $ out $ resume)
+      $ no_warmup $ profile $ out $ resume $ format $ no_cache $ cache_dir
+      $ no_fast_forward_arg)
 
 let () =
   let doc =
@@ -643,6 +735,6 @@ let () =
   in
   exit
     (Cmd.eval
-       (Cmd.group (Cmd.info "critload" ~doc)
+       (Cmd.group (cmd_info "critload" ~doc)
           [ list_cmd; verify_cmd; classify_cmd; characterize_cmd;
             advise_cmd; dot_cmd; simulate_cmd; trace_cmd; sweep_cmd ]))

@@ -32,9 +32,9 @@ let () =
     advice;
 
   (* 2. baseline vs guided machine *)
-  let base = { Gsim.Config.default with Gsim.Config.max_warp_insts = cap } in
+  let base = Gsim.Config.default |> Gsim.Config.with_caps ~max_warp_insts:cap () in
   let guided =
-    { base with Gsim.Config.pc_policies = Critload.Advisor.policies advice }
+    base |> Gsim.Config.with_pc_policies (Critload.Advisor.policies advice)
   in
   run_variant app scale base "baseline";
   run_variant app scale guided "advisor"

@@ -6,9 +6,9 @@
 
 let run_variant app scale sched name =
   let cfg =
-    { Gsim.Config.default with
-      Gsim.Config.cta_sched = sched;
-      max_warp_insts = 150_000 }
+    Gsim.Config.default
+    |> Gsim.Config.with_cta_sched sched
+    |> Gsim.Config.with_caps ~max_warp_insts:150_000 ()
   in
   let r = Critload.Runner.run_timing ~cfg app scale in
   let s = r.Critload.Runner.tr_stats in

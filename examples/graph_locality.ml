@@ -63,7 +63,7 @@ let () =
        (List.map (fun (d, f) -> Printf.sprintf "%d (%.0f%%)" d (100. *. f)) top));
 
   (* timing behaviour *)
-  let cfg = { Gsim.Config.default with Gsim.Config.max_warp_insts = 150_000 } in
+  let cfg = Gsim.Config.default |> Gsim.Config.with_caps ~max_warp_insts:150_000 () in
   let tr = Critload.Runner.run_timing ~cfg app scale in
   let st = tr.Critload.Runner.tr_stats in
   Printf.printf "\ncycle sim (capped): %d cycles\n" st.Gsim.Stats.cycles;

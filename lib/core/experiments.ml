@@ -25,7 +25,7 @@ let timing_cfg ?(cfg = Config.default) ?max_warp_insts () =
   let max_warp_insts =
     match max_warp_insts with Some n -> n | None -> !timing_cap
   in
-  { cfg with Config.max_warp_insts }
+  cfg |> Config.with_caps ~max_warp_insts ()
 
 let all_apps = Suite.all
 
@@ -565,7 +565,7 @@ let ablate_split scale =
     (fun app ->
       List.map
         (fun width ->
-          let cfg = { (timing_cfg ()) with Config.warp_split_width = width } in
+          let cfg = timing_cfg () |> Config.with_warp_split width in
           ablation_run scale app cfg
             (if width = 0 then "baseline" else Printf.sprintf "split%d" width))
         [ 0; 8; 4 ])
@@ -583,7 +583,7 @@ let ablate_cta scale =
     (fun app ->
       List.map
         (fun (sched, name) ->
-          let cfg = { (timing_cfg ()) with Config.cta_sched = sched } in
+          let cfg = timing_cfg () |> Config.with_cta_sched sched in
           ablation_run scale app cfg name)
         [ (Config.Round_robin, "round-robin"); (Config.Clustered 2, "cluster2");
           (Config.Clustered 4, "cluster4") ])
@@ -599,7 +599,7 @@ let ablate_prefetch scale =
     (fun app ->
       List.map
         (fun (on, name) ->
-          let cfg = { (timing_cfg ()) with Config.prefetch_ndet = on } in
+          let cfg = timing_cfg () |> Config.with_prefetch_ndet on in
           ablation_run scale app cfg name)
         [ (false, "baseline"); (true, "prefetch-N") ])
     (graph_apps () @ [ Suite.find "spmv" ])
@@ -616,7 +616,7 @@ let ablate_bypass scale =
     (fun app ->
       List.map
         (fun (on, name) ->
-          let cfg = { (timing_cfg ()) with Config.bypass_ndet = on } in
+          let cfg = timing_cfg () |> Config.with_bypass_ndet on in
           ablation_run scale app cfg name)
         [ (false, "baseline"); (true, "bypass-N") ])
     (graph_apps () @ [ Suite.find "spmv" ])
@@ -633,7 +633,7 @@ let ablate_warpsched scale =
     (fun app ->
       List.map
         (fun (sched, name) ->
-          let cfg = { (timing_cfg ()) with Config.warp_sched = sched } in
+          let cfg = timing_cfg () |> Config.with_warp_sched sched in
           ablation_run scale app cfg name)
         [ (Config.Lrr, "lrr"); (Config.Gto, "gto") ])
     all_apps
@@ -651,7 +651,7 @@ let ablate_advisor scale =
     (fun app ->
       let advice = Advisor.advise_app app scale in
       let guided =
-        { (timing_cfg ()) with Config.pc_policies = Advisor.policies advice }
+        timing_cfg () |> Config.with_pc_policies (Advisor.policies advice)
       in
       [ ablation_run scale app (timing_cfg ()) "baseline";
         ablation_run scale app guided "advisor" ])
@@ -681,7 +681,7 @@ let ablate_l2 scale =
     (fun app ->
       List.map
         (fun (k, name) ->
-          let cfg = { (timing_cfg ()) with Config.l2_cluster = k } in
+          let cfg = timing_cfg () |> Config.with_l2_cluster k in
           let r = Runner.run_timing ~cfg app scale in
           let s = r.Runner.tr_stats in
           ( app.App.name,

@@ -20,10 +20,12 @@ type job = {
   sj_mode : mode;
   sj_warmup : bool;
   sj_profile : bool; (* attach a Profile reducer to a timing run *)
+  sj_fast_forward : bool; (* timing runs: skip quiescent cycle windows *)
 }
 
 let job ?(label = "base") ?(cfg = Gsim.Config.default) ?(mode = Timing)
-    ?(warmup = true) ?(profile = false) ?(scale = Workloads.App.Small) app =
+    ?(warmup = true) ?(profile = false) ?(fast_forward = true)
+    ?(scale = Workloads.App.Small) app =
   {
     sj_app = app;
     sj_scale = scale;
@@ -32,17 +34,18 @@ let job ?(label = "base") ?(cfg = Gsim.Config.default) ?(mode = Timing)
     sj_mode = mode;
     sj_warmup = warmup;
     sj_profile = profile;
+    sj_fast_forward = fast_forward;
   }
 
 let jobs ~apps ~scales ~cfgs ?(mode = Timing) ?(warmup = true)
-    ?(profile = false) () =
+    ?(profile = false) ?(fast_forward = true) () =
   List.concat_map
     (fun app ->
       List.concat_map
         (fun scale ->
           List.map
             (fun (label, cfg) ->
-              job ~label ~cfg ~mode ~warmup ~profile ~scale app)
+              job ~label ~cfg ~mode ~warmup ~profile ~fast_forward ~scale app)
             cfgs)
         scales)
     apps
@@ -62,6 +65,127 @@ let job_key j =
       j.sj_label;
       string_of_mode j.sj_mode ]
   ^ if j.sj_profile then "|profile" else ""
+
+(* ---- content digests ----
+
+   The sweep cache is content-addressed: a job's digest covers
+   everything its result depends on — the application's kernels (as
+   text, after a parse → print round trip so formatting-only edits
+   don't invalidate), its launch geometry and dataset seed, the full
+   machine configuration, the simulation mode, and the simulator
+   semantics tag.  Presentation knobs (the config label) and
+   observably-equivalent execution knobs (fast-forward, which is
+   byte-identical by construction) are deliberately excluded: two jobs
+   that must produce the same bytes share one cache entry. *)
+
+let cache_schema = "critload-cache-v1"
+
+(* Kernel identity as normalized text: printing, re-parsing and
+   printing again makes the digest a function of the parsed program,
+   not of whitespace or comment choices in the builder. *)
+let normalize_kernel k =
+  Ptx.Kernel.to_string (Ptx.Parse.kernel_of_string (Ptx.Kernel.to_string k))
+
+(* Enumerating an app's launches without simulating between them is
+   deterministic — a driver's host logic sees the untouched initial
+   memory image — so it names the app's content reproducibly even
+   though the enumerated sequence can be shorter than a real run's.
+   Deliberately not memoized by app name: two [App.t] values may share
+   a name yet differ in seed or kernels, and must digest apart. *)
+let app_fingerprint (app : Workloads.App.t) scale =
+  let b = Buffer.create 4096 in
+  Printf.ksprintf (Buffer.add_string b) "%s|seed=%#x|scale=%s"
+    app.Workloads.App.name app.Workloads.App.seed
+    (Workloads.App.string_of_scale scale);
+  let seen = Hashtbl.create 4 in
+  let run = app.Workloads.App.make scale in
+  let continue_ = ref true in
+  while !continue_ do
+    match run.Workloads.App.next_launch () with
+    | None -> continue_ := false
+    | Some l ->
+        let k = l.Gsim.Launch.kernel in
+        let kname = k.Ptx.Kernel.kname in
+        let gx, gy, gz = l.Gsim.Launch.grid in
+        let bx, by, bz = l.Gsim.Launch.block in
+        Printf.ksprintf (Buffer.add_string b) "|launch=%s:%dx%dx%d:%dx%dx%d"
+          kname gx gy gz bx by bz;
+        if not (Hashtbl.mem seen kname) then begin
+          Hashtbl.add seen kname ();
+          Buffer.add_string b "|kernel=";
+          Buffer.add_string b (normalize_kernel k)
+        end
+  done;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+let job_digest j =
+  let app = Workloads.Suite.find j.sj_app in
+  let payload =
+    String.concat "\n"
+      [ cache_schema;
+        Version.sim_tag;
+        app_fingerprint app j.sj_scale;
+        Gsim.Config.to_digest j.sj_cfg;
+        string_of_mode j.sj_mode;
+        (if j.sj_warmup then "warmup" else "nowarmup");
+        (if j.sj_profile then "profile" else "noprofile") ]
+  in
+  Digest.to_hex (Digest.string payload)
+
+(* ---- on-disk cache ----
+
+   One file per digest.  Entries carry provenance (app, config JSON,
+   sim tag) alongside the result payload, written via a temporary file
+   and rename so a reader never observes a torn entry.  Lookups treat
+   any unreadable or mismatched file as a miss — a corrupt entry costs
+   one re-simulation, never a crash. *)
+
+let cache_path ~dir digest = Filename.concat dir (digest ^ ".json")
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let cache_lookup ~dir j =
+  match job_digest j with
+  | exception _ -> None (* unknown app: let the execution path report it *)
+  | digest -> (
+      let path = cache_path ~dir digest in
+      match Json.of_string (read_file path) with
+      | v
+        when Json.member "schema" v = Json.Str cache_schema
+             && Json.member "sim_tag" v = Json.Str Version.sim_tag -> (
+          match Json.member "result" v with Json.Null -> None | r -> Some r)
+      | _ -> None
+      | exception _ -> None)
+
+let cache_store ~dir j payload =
+  try
+    let digest = job_digest j in
+    if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+    let entry =
+      Json.Obj
+        [ ("schema", Json.Str cache_schema);
+          ("digest", Json.Str digest);
+          ("sim_tag", Json.Str Version.sim_tag);
+          ("app", Json.Str j.sj_app);
+          ("scale", Json.Str (Workloads.App.string_of_scale j.sj_scale));
+          ("mode", Json.Str (string_of_mode j.sj_mode));
+          ("warmup", Json.Bool j.sj_warmup);
+          ("profile", Json.Bool j.sj_profile);
+          ("config", Gsim.Stats_io.config_to_json j.sj_cfg);
+          ("result", payload) ]
+    in
+    let path = cache_path ~dir digest in
+    let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> Json.to_channel oc entry);
+    Unix.rename tmp path
+  with _ -> () (* a full disk or permission error degrades to no cache *)
 
 (* ---- result summaries ---- *)
 
@@ -177,23 +301,24 @@ let timing_summary_of_json v =
 
 let exec_job j =
   let app = Workloads.Suite.find j.sj_app in
+  let mode = match j.sj_mode with Func -> Runner.Func | Timing -> Runner.Timing in
+  let report =
+    match
+      Runner.run ~cfg:j.sj_cfg ~mode ~scale:j.sj_scale ~warmup:j.sj_warmup
+        ~check:true ~profile:j.sj_profile ~fast_forward:j.sj_fast_forward app
+    with
+    | Ok r -> r
+    | Error e -> raise (Gsim.Sim_error.Error e)
+  in
   match j.sj_mode with
   | Timing ->
-      let profile, trace =
-        if j.sj_profile then begin
-          let p = Gsim.Profile.create () in
-          (Some p, Some (Gsim.Profile.sink p))
-        end
-        else (None, None)
-      in
-      let r =
-        Runner.run_timing ~cfg:j.sj_cfg ~warmup:j.sj_warmup ?trace app
-          j.sj_scale
-      in
-      timing_summary_to_json (timing_summary ?profile r)
-  | Func ->
-      let r = Runner.run_func ~cfg:j.sj_cfg ~check:true app j.sj_scale in
-      func_summary_to_json (func_summary r)
+      timing_summary_to_json
+        {
+          tm_launches = report.Runner.Report.launches;
+          tm_stats = Runner.Report.stats_exn report;
+          tm_profile = report.Runner.Report.profile;
+        }
+  | Func -> func_summary_to_json (func_summary (Runner.Report.func_exn report))
 
 (* ---- pool ---- *)
 
@@ -205,6 +330,7 @@ type event =
   | Retried of job * string
   | Gave_up of job * string
   | Skipped of job
+  | Cached of job
 
 (* Raised by a [chaos] hook to make the worker ship deliberately
    corrupted bytes instead of a result envelope — exercises the
@@ -267,7 +393,7 @@ let run ?(workers = 1) ?(timeout = 600.)
     ?(chaos = fun ~job_index:_ ~attempt:_ -> ())
     ?(prefilled = [])
     ?(on_result = fun (_ : int) (_ : job) (_ : outcome) -> ())
-    ?abort_after job_list =
+    ?abort_after ?cache_dir job_list =
   let job_arr = Array.of_list job_list in
   let n = Array.length job_arr in
   let results = Array.make n (Failed "never ran") in
@@ -291,7 +417,19 @@ let run ?(workers = 1) ?(timeout = 600.)
           results.(i) <- o;
           incr settled;
           on_event (Skipped j)
-      | None -> Queue.add (i, 0) pending)
+      | None -> (
+          (* checkpoints (exact resume of this sweep) outrank the
+             content cache; a cache hit settles through [record] so it
+             still reaches the checkpoint writer *)
+          match
+            match cache_dir with
+            | Some dir -> cache_lookup ~dir j
+            | None -> None
+          with
+          | Some payload ->
+              record i (Completed payload);
+              on_event (Cached j)
+          | None -> Queue.add (i, 0) pending))
     job_arr;
   let running : (Unix.file_descr, worker) Hashtbl.t = Hashtbl.create 8 in
   let chunk = Bytes.create 65536 in
@@ -309,7 +447,11 @@ let run ?(workers = 1) ?(timeout = 600.)
     in
     match envelope with
     | Some v when Json.member "status" v = Json.Str "ok" ->
-        record w.w_index (Completed (Json.member "result" v));
+        let payload = Json.member "result" v in
+        record w.w_index (Completed payload);
+        (match cache_dir with
+        | Some dir -> cache_store ~dir j payload
+        | None -> ());
         on_event (Finished (j, Unix.gettimeofday () -. w.w_start))
     | Some v ->
         let msg =

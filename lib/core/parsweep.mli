@@ -14,8 +14,8 @@
       missing slot. *)
 
 type mode =
-  | Func  (** functional simulation ({!Runner.run_func}) *)
-  | Timing  (** cycle simulation ({!Runner.run_timing}) *)
+  | Func  (** functional simulation ({!Runner.run} with [Runner.Func]) *)
+  | Timing  (** cycle simulation ({!Runner.run} with [Runner.Timing]) *)
 
 type job = {
   sj_app : string;  (** application name, resolved via {!Workloads.Suite} *)
@@ -25,6 +25,9 @@ type job = {
   sj_mode : mode;
   sj_warmup : bool;  (** timing runs: fast-forward past cold launches *)
   sj_profile : bool;  (** timing runs: attach a {!Gsim.Profile} reducer *)
+  sj_fast_forward : bool;
+      (** timing runs: let the cycle loop jump quiescent windows
+          (statistics and traces are unchanged by construction) *)
 }
 
 val job :
@@ -33,11 +36,12 @@ val job :
   ?mode:mode ->
   ?warmup:bool ->
   ?profile:bool ->
+  ?fast_forward:bool ->
   ?scale:Workloads.App.scale ->
   string ->
   job
 (** [job app] with defaults: label ["base"], default config, [Timing]
-    mode, warmup on, profiling off, [Small] scale. *)
+    mode, warmup on, profiling off, fast-forward on, [Small] scale. *)
 
 val jobs :
   apps:string list ->
@@ -46,6 +50,7 @@ val jobs :
   ?mode:mode ->
   ?warmup:bool ->
   ?profile:bool ->
+  ?fast_forward:bool ->
   unit ->
   job list
 (** Cross product, ordered app-major (app, then scale, then config). *)
@@ -56,6 +61,36 @@ val job_key : job -> string
     arguments; the key checkpoints and resume match on.  Profiled jobs
     carry a ["|profile"] suffix so pre-existing checkpoints (written
     before the flag existed) still resolve. *)
+
+(** {1 Content digests and the sweep cache}
+
+    The cache is content-addressed: {!job_digest} covers everything a
+    job's result depends on — the app's kernels (as normalized text:
+    print → parse → print, so formatting-only edits don't invalidate),
+    launch geometry, dataset seed, the full {!Gsim.Config.t} (via
+    {!Gsim.Config.to_digest}), the simulation mode, warmup and profile
+    settings, and {!Version.sim_tag}.  The config {e label} and the
+    fast-forward flag are deliberately excluded: they cannot change the
+    result bytes, so jobs differing only there share an entry. *)
+
+val app_fingerprint : Workloads.App.t -> Workloads.App.scale -> string
+(** Hex digest naming the app's content at a scale (kernels, launch
+    geometry, dataset seed).  Launches are enumerated without
+    simulating between them, which is deterministic. *)
+
+val job_digest : job -> string
+(** Hex digest addressing a job's cache entry.
+    @raise Not_found when [sj_app] names no known application. *)
+
+val cache_lookup : dir:string -> job -> Gsim.Stats_io.Json.t option
+(** The cached result payload for a job, if [dir] holds a well-formed
+    entry under the job's digest with the current {!Version.sim_tag}.
+    Unreadable, torn, or mismatched entries are misses, never errors. *)
+
+val cache_store : dir:string -> job -> Gsim.Stats_io.Json.t -> unit
+(** Write a job's result payload under its digest (creating [dir] if
+    needed), via a temporary file and rename so readers never observe a
+    torn entry.  I/O failures degrade to not caching. *)
 
 (** {1 Result summaries} *)
 
@@ -111,6 +146,7 @@ type event =
   | Retried of job * string  (** first attempt failed: reason *)
   | Gave_up of job * string
   | Skipped of job  (** restored from a checkpoint, not re-run *)
+  | Cached of job  (** served from the content cache, not re-run *)
 
 exception Garble
 (** A [chaos] hook may raise this to make its worker ship deliberately
@@ -130,6 +166,7 @@ val run :
   ?prefilled:(string * outcome) list ->
   ?on_result:(int -> job -> outcome -> unit) ->
   ?abort_after:int ->
+  ?cache_dir:string ->
   job list ->
   outcome array
 (** Run the jobs over [workers] concurrent forked processes (default 1;
@@ -151,6 +188,13 @@ val run :
     (counting prefilled), killing in-flight workers without settling
     them; remaining slots read [Failed "never ran"].  A test hook
     simulating a mid-sweep crash.
+
+    [cache_dir] enables the content cache: jobs whose {!job_digest}
+    resolves in the directory settle immediately from the stored
+    payload ([Cached] is reported, and the outcome still reaches
+    [on_result] so checkpoints stay complete); completed jobs are
+    stored back.  Checkpoints ([prefilled]) outrank the cache.  Failed
+    jobs are never cached.
 
     On [Sys.Break] the pool is reaped (no orphan workers) and the
     exception propagates; jobs settled before the interrupt have

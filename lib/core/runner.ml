@@ -1,7 +1,15 @@
 (* Drives an application (a sequence of kernel launches) through the
    functional or cycle simulator, accumulating statistics across the
    launches and collecting the static load classification of each
-   distinct kernel. *)
+   distinct kernel.
+
+   The unified entry point is [run], which returns a [Report.t] for
+   either simulation mode; the mode-specific entry points below it are
+   retained as thin compatibility aliases. *)
+
+type mode = Func | Timing
+
+let mode_name = function Func -> "func" | Timing -> "timing"
 
 type func_result = {
   fr_app : Workloads.App.t;
@@ -108,7 +116,7 @@ let warmup_launches ?(cfg = Gsim.Config.default) (app : Workloads.App.t) scale
   first 0
 
 let run_timing ?(cfg = Gsim.Config.default) ?(warmup = true) ?trace
-    ?trace_kernel (app : Workloads.App.t) scale =
+    ?trace_kernel ?(fast_forward = false) (app : Workloads.App.t) scale =
   let skip = if warmup then warmup_launches ~cfg app scale else 0 in
   let run = app.Workloads.App.make scale in
   let machine = Gsim.Gpu.create_machine ~cfg ?trace () in
@@ -134,8 +142,8 @@ let run_timing ?(cfg = Gsim.Config.default) ?(warmup = true) ?trace
           let ran =
             if muted then
               Gsim.Trace.with_muted trace (fun () ->
-                  Gsim.Gpu.run_launch machine launch)
-            else Gsim.Gpu.run_launch machine launch
+                  Gsim.Gpu.run_launch machine ~fast_forward launch)
+            else Gsim.Gpu.run_launch machine ~fast_forward launch
           in
           if not ran then continue_ := false
         end;
@@ -163,3 +171,86 @@ let run_func_result ?cfg ?max_warp_insts ?check app scale =
 
 let run_timing_result ?cfg ?warmup ?trace ?trace_kernel app scale =
   catching (fun () -> run_timing ?cfg ?warmup ?trace ?trace_kernel app scale)
+
+(* The unified report: one result shape for both simulation modes, so
+   callers (CLI subcommands, the sweep runner, benches) branch on the
+   mode they asked for instead of juggling two entry points with
+   different record types. *)
+module Report = struct
+  type t = {
+    app : Workloads.App.t;
+    mode : mode;
+    cfg : Gsim.Config.t;
+    scale : Workloads.App.scale;
+    launches : int;
+    stats : Gsim.Stats.t option;  (* Timing *)
+    func : func_result option;  (* Func *)
+    profile : Gsim.Profile.t option;  (* Timing with ~profile:true *)
+    truncated : bool;
+  }
+
+  let stats_exn t =
+    match t.stats with
+    | Some s -> s
+    | None -> invalid_arg "Runner.Report.stats_exn: functional report"
+
+  let func_exn t =
+    match t.func with
+    | Some f -> f
+    | None -> invalid_arg "Runner.Report.func_exn: timing report"
+end
+
+(* A trace handle that feeds two sinks.  Used to tee the event stream
+   into a profile reducer while still honouring a caller's own trace;
+   [Trace.with_muted] on the machine handle mutes both together, which
+   is exactly what --kernel filtering wants. *)
+let tee_trace a b =
+  Gsim.Trace.stream (fun ev ->
+      Gsim.Trace.emit a ev;
+      Gsim.Trace.emit b ev)
+
+let run ?(cfg = Gsim.Config.default) ?(mode = Timing)
+    ?(scale = Workloads.App.Default) ?(warmup = true) ?(check = true) ?trace
+    ?trace_kernel ?(profile = false) ?(fast_forward = true)
+    (app : Workloads.App.t) =
+  catching (fun () ->
+      match mode with
+      | Func ->
+          (* Functional runs ignore the config's instruction cap (the
+             cap is a property of the cycle simulation): verification
+             must observe the complete computation. *)
+          let r = run_func ~cfg ~check app scale in
+          {
+            Report.app;
+            mode;
+            cfg;
+            scale;
+            launches = r.fr_launches;
+            stats = None;
+            func = Some r;
+            profile = None;
+            truncated = r.fr_fs.Gsim.Funcsim.capped;
+          }
+      | Timing ->
+          let prof = if profile then Some (Gsim.Profile.create ()) else None in
+          let trace =
+            match (prof, trace) with
+            | None, t -> t
+            | Some p, None -> Some (Gsim.Profile.sink p)
+            | Some p, Some user -> Some (tee_trace (Gsim.Profile.sink p) user)
+          in
+          let r =
+            run_timing ~cfg ~warmup ?trace ?trace_kernel ~fast_forward app
+              scale
+          in
+          {
+            Report.app;
+            mode;
+            cfg;
+            scale;
+            launches = r.tr_launches;
+            stats = Some r.tr_stats;
+            func = None;
+            profile = prof;
+            truncated = r.tr_stats.Gsim.Stats.truncated;
+          })

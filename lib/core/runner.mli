@@ -1,6 +1,19 @@
 (** Drives an application (a sequence of kernel launches) through the
     functional or cycle simulator, accumulating statistics across
-    launches and collecting each kernel's static load classification. *)
+    launches and collecting each kernel's static load classification.
+
+    {!run} is the entry point: it selects the simulation {!mode},
+    returns a unified {!Report.t}, and folds every failure mode into a
+    [result].  The mode-specific entry points further down are retained
+    as thin compatibility aliases over the same machinery. *)
+
+(** Which simulator executes the application: [Func] interprets kernels
+    directly against global memory (fast, no timing); [Timing] runs the
+    cycle-level GPU model and produces a {!Gsim.Stats.t}. *)
+type mode = Func | Timing
+
+val mode_name : mode -> string
+(** ["func"] / ["timing"] — the sweep JSON / cache spelling. *)
 
 type func_result = {
   fr_app : Workloads.App.t;
@@ -20,6 +33,70 @@ type timing_result = {
   tr_cfg : Gsim.Config.t;
 }
 
+(** One result shape for both simulation modes. *)
+module Report : sig
+  type t = {
+    app : Workloads.App.t;
+    mode : mode;
+    cfg : Gsim.Config.t;
+    scale : Workloads.App.scale;
+    launches : int;
+    stats : Gsim.Stats.t option;  (** [Some] iff [mode = Timing] *)
+    func : func_result option;  (** [Some] iff [mode = Func] *)
+    profile : Gsim.Profile.t option;
+        (** [Some] iff [mode = Timing] and profiling was requested *)
+    truncated : bool;  (** a cycle / instruction cap cut the run short *)
+  }
+
+  val stats_exn : t -> Gsim.Stats.t
+  (** @raise Invalid_argument on a functional report. *)
+
+  val func_exn : t -> func_result
+  (** @raise Invalid_argument on a timing report. *)
+end
+
+val run :
+  ?cfg:Gsim.Config.t ->
+  ?mode:mode ->
+  ?scale:Workloads.App.scale ->
+  ?warmup:bool ->
+  ?check:bool ->
+  ?trace:Gsim.Trace.t ->
+  ?trace_kernel:string ->
+  ?profile:bool ->
+  ?fast_forward:bool ->
+  Workloads.App.t ->
+  (Report.t, Gsim.Sim_error.t) result
+(** Run [app] through the selected simulator (default [Timing], scale
+    [Default]).
+
+    Timing mode: with [warmup] (default true) the run fast-forwards
+    functionally to the first heavy launch — the memory image is
+    shared, so simulation resumes exactly there — and cycle-simulates
+    from that point until the configured caps.  [trace] (default null)
+    receives memory-system events and [trace_kernel] mutes it for
+    launches of every other kernel; [profile] (default false)
+    additionally folds the event stream into a {!Gsim.Profile.t}
+    returned in the report (teeing with [trace] when both are given).
+    [fast_forward] (default true) lets the cycle loop jump over
+    quiescent windows — statistics and traces are identical to the
+    naive loop by construction (see DESIGN.md), so it is on by default.
+
+    Func mode: the full computation is interpreted uncapped —
+    [cfg.max_warp_insts] is a property of the cycle simulation, and
+    [check] (default true) must observe the complete run to verify it
+    against the host reference.
+
+    Every failure mode — static verification, unbound parameters,
+    memory faults, watchdog stalls, kernel construction and parse
+    errors — arrives as a structured {!Gsim.Sim_error.t} instead of an
+    exception. *)
+
+(** {1 Mode-specific entry points}
+
+    Deprecated: thin aliases kept for compatibility; new code should
+    call {!run} and read the {!Report.t}. *)
+
 val run_func :
   ?cfg:Gsim.Config.t ->
   ?max_warp_insts:int ->
@@ -27,8 +104,9 @@ val run_func :
   Workloads.App.t ->
   Workloads.App.scale ->
   func_result
-(** Functional run.  [check] (default true) verifies results against
-    the host reference when the run was not capped. *)
+(** Deprecated: use [run ~mode:Func].  Functional run; [check] (default
+    true) verifies results against the host reference when the run was
+    not capped. *)
 
 val warmup_launches :
   ?cfg:Gsim.Config.t -> Workloads.App.t -> Workloads.App.scale -> int
@@ -43,15 +121,13 @@ val run_timing :
   ?warmup:bool ->
   ?trace:Gsim.Trace.t ->
   ?trace_kernel:string ->
+  ?fast_forward:bool ->
   Workloads.App.t ->
   Workloads.App.scale ->
   timing_result
-(** Cycle-level run.  With [warmup] (default true) the run
-    fast-forwards functionally to the first heavy launch — the memory
-    image is shared, so simulation resumes exactly there — and
-    cycle-simulates from that point until the configured caps.
-    [trace] (default null) receives memory-system events;
-    [trace_kernel] mutes it for launches of every other kernel. *)
+(** Deprecated: use {!run}.  Cycle-level run; unlike {!run} it raises
+    on failure and defaults [fast_forward] to false (the naive loop),
+    preserving its historical behaviour exactly. *)
 
 val run_func_result :
   ?cfg:Gsim.Config.t ->
@@ -60,10 +136,8 @@ val run_func_result :
   Workloads.App.t ->
   Workloads.App.scale ->
   (func_result, Gsim.Sim_error.t) result
-(** [run_func] with every failure mode — static verification, unbound
-    parameters, memory faults, watchdog stalls, kernel construction and
-    parse errors — returned as a structured {!Gsim.Sim_error.t} instead
-    of an exception. *)
+(** Deprecated: use [run ~mode:Func].  [run_func] with every failure
+    mode returned as a structured {!Gsim.Sim_error.t}. *)
 
 val run_timing_result :
   ?cfg:Gsim.Config.t ->
@@ -73,4 +147,4 @@ val run_timing_result :
   Workloads.App.t ->
   Workloads.App.scale ->
   (timing_result, Gsim.Sim_error.t) result
-(** [run_timing], likewise exception-free. *)
+(** Deprecated: use {!run}.  [run_timing], exception-free. *)

@@ -1,0 +1,11 @@
+(** Package and simulator-model version identifiers. *)
+
+val version : string
+(** Package version, printed by [--version]. *)
+
+val sim_tag : string
+(** Revision tag of the simulated machine's semantics.  Folded into the
+    sweep cache's content digests, so bumping it invalidates every
+    cached result.  Bump on any change that alters simulated statistics
+    for some (kernel, config, dataset); not on pure refactors or
+    observably-equivalent performance work. *)

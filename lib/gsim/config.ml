@@ -131,6 +131,150 @@ let default =
     pc_policies = [];
   }
 
+(* ---- builder ----
+
+   Pipeline-style combinators over [default]; each takes the config
+   last so call sites read
+     Config.default |> Config.with_mshrs 32 |> Config.with_caps
+       ~max_warp_insts:5_000 ()
+   Optional arguments leave the corresponding field untouched, so a
+   builder names only what an experiment varies. *)
+
+let opt v = function Some x -> x | None -> v
+
+let with_n_sms n c = { c with n_sms = n }
+let with_warp_size n c = { c with warp_size = n }
+
+let with_l1 ?sets ?ways ?line_size ?hit_latency c =
+  {
+    c with
+    l1_sets = opt c.l1_sets sets;
+    l1_ways = opt c.l1_ways ways;
+    line_size = opt c.line_size line_size;
+    l1_hit_latency = opt c.l1_hit_latency hit_latency;
+  }
+
+let with_mshrs ?max_merge entries c =
+  {
+    c with
+    l1_mshr_entries = entries;
+    l1_mshr_max_merge = opt c.l1_mshr_max_merge max_merge;
+  }
+
+let with_l2 ?partitions ?sets ?ways ?mshr_entries ?latency ?input_queue c =
+  {
+    c with
+    n_mem_partitions = opt c.n_mem_partitions partitions;
+    l2_sets = opt c.l2_sets sets;
+    l2_ways = opt c.l2_ways ways;
+    l2_mshr_entries = opt c.l2_mshr_entries mshr_entries;
+    l2_latency = opt c.l2_latency latency;
+    l2_input_queue_size = opt c.l2_input_queue_size input_queue;
+  }
+
+let with_icnt_width n c = { c with icnt_buffer_size = n }
+let with_icnt_latency n c = { c with icnt_latency = n }
+
+let with_dram ?latency ?interval ?queue_size c =
+  {
+    c with
+    dram_latency = opt c.dram_latency latency;
+    dram_interval = opt c.dram_interval interval;
+    dram_queue_size = opt c.dram_queue_size queue_size;
+  }
+
+let with_caps ?max_warp_insts ?max_cycles () c =
+  {
+    c with
+    max_warp_insts = opt c.max_warp_insts max_warp_insts;
+    max_cycles = opt c.max_cycles max_cycles;
+  }
+
+let with_cta_sched p c = { c with cta_sched = p }
+let with_warp_sched p c = { c with warp_sched = p }
+let with_warp_split w c = { c with warp_split_width = w }
+let with_l2_cluster k c = { c with l2_cluster = k }
+let with_prefetch_ndet b c = { c with prefetch_ndet = b }
+let with_bypass_ndet b c = { c with bypass_ndet = b }
+let with_pc_policies ps c = { c with pc_policies = ps }
+
+(* ---- canonical key / digest ----
+
+   [to_key] renders every field in a fixed order, so two configs share
+   a key iff they are semantically identical; [to_digest] hashes the
+   key (stdlib MD5) into the short stable token the sweep cache and
+   provenance records embed.  Any new field MUST be appended here —
+   forgetting it would make the cache return stale results across
+   configs differing only in that field. *)
+
+let string_of_cta_sched = function
+  | Round_robin -> "rr"
+  | Clustered k -> "clustered:" ^ string_of_int k
+
+let string_of_warp_sched = function Lrr -> "lrr" | Gto -> "gto"
+
+let string_of_policy (p : load_policy) =
+  Printf.sprintf "%d:%b:%b" p.lp_split p.lp_prefetch p.lp_bypass
+
+let to_key c =
+  let b = Buffer.create 256 in
+  let i n v =
+    Buffer.add_string b n;
+    Buffer.add_char b '=';
+    Buffer.add_string b (string_of_int v);
+    Buffer.add_char b ';'
+  in
+  let s n v =
+    Buffer.add_string b n;
+    Buffer.add_char b '=';
+    Buffer.add_string b v;
+    Buffer.add_char b ';'
+  in
+  i "n_sms" c.n_sms;
+  i "warp_size" c.warp_size;
+  i "max_threads_per_sm" c.max_threads_per_sm;
+  i "max_ctas_per_sm" c.max_ctas_per_sm;
+  i "shared_mem_per_sm" c.shared_mem_per_sm;
+  i "l1_sets" c.l1_sets;
+  i "l1_ways" c.l1_ways;
+  i "line_size" c.line_size;
+  i "l1_mshr_entries" c.l1_mshr_entries;
+  i "l1_mshr_max_merge" c.l1_mshr_max_merge;
+  i "l1_hit_latency" c.l1_hit_latency;
+  i "n_mem_partitions" c.n_mem_partitions;
+  i "l2_sets" c.l2_sets;
+  i "l2_ways" c.l2_ways;
+  i "l2_mshr_entries" c.l2_mshr_entries;
+  i "l2_latency" c.l2_latency;
+  i "icnt_latency" c.icnt_latency;
+  i "icnt_buffer_size" c.icnt_buffer_size;
+  i "l2_input_queue_size" c.l2_input_queue_size;
+  i "dram_latency" c.dram_latency;
+  i "dram_interval" c.dram_interval;
+  i "dram_queue_size" c.dram_queue_size;
+  i "sp_latency" c.sp_latency;
+  i "sfu_latency" c.sfu_latency;
+  i "sfu_initiation" c.sfu_initiation;
+  i "shared_latency" c.shared_latency;
+  i "shared_banks" c.shared_banks;
+  i "max_warp_insts" c.max_warp_insts;
+  i "max_cycles" c.max_cycles;
+  s "cta_sched" (string_of_cta_sched c.cta_sched);
+  s "warp_sched" (string_of_warp_sched c.warp_sched);
+  i "warp_split_width" c.warp_split_width;
+  i "l2_cluster" c.l2_cluster;
+  s "prefetch_ndet" (string_of_bool c.prefetch_ndet);
+  s "bypass_ndet" (string_of_bool c.bypass_ndet);
+  List.iter
+    (fun ((kernel, pc), p) ->
+      s
+        (Printf.sprintf "policy[%s@%d]" kernel pc)
+        (string_of_policy p))
+    c.pc_policies;
+  Buffer.contents b
+
+let to_digest c = Digest.to_hex (Digest.string (to_key c))
+
 (* Latency of a load that misses everywhere, with empty queues: request
    over icnt, L2 access, DRAM, and the return trip.  The L1 probe that
    detects the miss is a single cycle in this model, accounted in the

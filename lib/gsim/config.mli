@@ -77,6 +77,65 @@ type t = {
 
 val default : t
 
+(** {1 Builder}
+
+    Pipeline-style combinators over {!default}; each takes the config
+    last, so call sites read
+    [Config.default |> Config.with_mshrs 32 |> Config.with_caps
+     ~max_warp_insts:5_000 ()].  Optional arguments leave the
+    corresponding field untouched, so a builder names only what an
+    experiment varies. *)
+
+val with_n_sms : int -> t -> t
+val with_warp_size : int -> t -> t
+
+val with_l1 :
+  ?sets:int -> ?ways:int -> ?line_size:int -> ?hit_latency:int -> t -> t
+
+val with_mshrs : ?max_merge:int -> int -> t -> t
+(** [with_mshrs n] sets the L1 MSHR entry count (and optionally the
+    per-entry merge limit, shared with the L2). *)
+
+val with_l2 :
+  ?partitions:int ->
+  ?sets:int ->
+  ?ways:int ->
+  ?mshr_entries:int ->
+  ?latency:int ->
+  ?input_queue:int ->
+  t ->
+  t
+
+val with_icnt_width : int -> t -> t
+(** Per-SM interconnect injection credits ([icnt_buffer_size]). *)
+
+val with_icnt_latency : int -> t -> t
+val with_dram : ?latency:int -> ?interval:int -> ?queue_size:int -> t -> t
+
+val with_caps : ?max_warp_insts:int -> ?max_cycles:int -> unit -> t -> t
+(** Simulation stop caps; [0] for [max_warp_insts] disables that cap. *)
+
+val with_cta_sched : cta_sched_policy -> t -> t
+val with_warp_sched : warp_sched_policy -> t -> t
+val with_warp_split : int -> t -> t
+val with_l2_cluster : int -> t -> t
+val with_prefetch_ndet : bool -> t -> t
+val with_bypass_ndet : bool -> t -> t
+val with_pc_policies : ((string * int) * load_policy) list -> t -> t
+
+(** {1 Canonical identity} *)
+
+val to_key : t -> string
+(** Canonical rendering of every field in a fixed order: two configs
+    share a key iff they are semantically identical.  The input to
+    {!to_digest} and the contract the sweep cache keys rest on. *)
+
+val to_digest : t -> string
+(** Hex MD5 of {!to_key} — the short stable token embedded in
+    content-addressed cache keys and provenance records.  The JSON
+    counterpart ({!Stats_io.config_to_json} / [config_of_json]) is the
+    round-trippable form. *)
+
 val unloaded_dram_latency : t -> int
 (** Contention-free latency of a load serviced by DRAM. *)
 

@@ -146,13 +146,67 @@ let diagnose_stall t (launch : Launch.t) =
          memory request advanced, and no warp is at a barrier"
         watchdog_cycles
 
+(* ---- event-driven fast-forward ----
+
+   When every component is quiescent — no SM can issue or retry, no
+   interconnect transfer has arrived, no DRAM burst or ROP hit has
+   matured, and no pending CTA could be placed — nothing in the model
+   mutates until the earliest "next wake" among them, except the
+   per-cycle unit-occupancy samples, which [Sm.account_idle] restores
+   in batch.  The clock can therefore jump to that horizon instead of
+   idling cycle-by-cycle; [run_launch ~fast_forward:true] is
+   byte-identical in [Stats.t] and trace stream to the naive loop (the
+   equivalence test cross-checks all 15 apps).
+
+   Returns [None] when some component is active at [t.cycle] (step
+   normally) and [Some h] with the quiescent horizon otherwise —
+   [max_int] when nothing is pending at all, in which case the caller's
+   watchdog cap turns the jump into the same stall diagnosis the naive
+   loop reaches. *)
+let quiescent_horizon t d =
+  let dist_active =
+    (* CTA placement is slot-driven, not time-driven: if any pending
+       CTA might fit now, stay on the naive path.  Slots only free
+       during SM activity, so this cannot become true inside a
+       quiescent window. *)
+    match t.cfg.Config.cta_sched with
+    | Config.Round_robin ->
+        d.next_cta < d.n_ctas_target
+        && Array.exists (fun sm -> Sm.free_slots sm > 0) t.sms
+    | Config.Clustered _ ->
+        let n = Array.length t.sms in
+        let rec any i =
+          i < n
+          && ((not (Queue.is_empty d.cta_queues.(i)))
+              && Sm.free_slots t.sms.(i) > 0
+             || any (i + 1))
+        in
+        any 0
+  in
+  if dist_active then None
+  else begin
+    let now = t.cycle in
+    let active = ref false in
+    let horizon = ref max_int in
+    let consider = function
+      | None -> ()
+      | Some c -> if c <= now then active := true else horizon := min !horizon c
+    in
+    Array.iter (fun sm -> consider (Sm.next_wake sm ~now)) t.sms;
+    consider (Icnt.next_wake t.icnt ~now);
+    Array.iter (fun p -> consider (L2part.next_wake p ~now)) t.parts;
+    if !active then None else Some !horizon
+  end
+
 (* Run one kernel launch to completion (or to the caps), keeping cache
    state from prior launches.  Returns false when an instruction/cycle
    cap stopped the launch early (also recorded as [stats.truncated]).
+   With [fast_forward] (default false) quiescent windows are jumped
+   instead of stepped — same observable behaviour, fewer iterations.
    @raise Sim_error.Error on barrier deadlock or livelock — a guard
    against malformed kernels and simulator bugs, not an expected
    outcome. *)
-let run_launch t ?max_ctas (launch : Launch.t) =
+let run_launch t ?max_ctas ?(fast_forward = false) (launch : Launch.t) =
   let threads_per_cta = Launch.threads_per_cta launch in
   let ctas_per_sm =
     Config.ctas_per_sm t.cfg ~threads_per_cta
@@ -177,14 +231,40 @@ let run_launch t ?max_ctas (launch : Launch.t) =
     || t.cycle >= t.cfg.Config.max_cycles
   in
   while work_remaining t d && not (cap_hit ()) do
-    step t d;
-    let fp = fingerprint () in
-    if fp <> !last_fingerprint then begin
-      last_fingerprint := fp;
-      last_activity := t.cycle
+    (if fast_forward then
+       match quiescent_horizon t d with
+       | None -> ()
+       | Some h ->
+           (* Never jump past an observable boundary: the watchdog
+              deadline (the stall must be diagnosed at the same cycle),
+              the cycle cap, or — when tracing — the next sparse
+              occupancy sample, which the naive loop emits in [step]. *)
+           let h = min h (!last_activity + watchdog_cycles) in
+           let h = min h t.cfg.Config.max_cycles in
+           let h =
+             if Trace.enabled t.trace then
+               if t.cycle land occupancy_interval_mask = 0 then t.cycle
+               else
+                 min h
+                   ((t.cycle lor occupancy_interval_mask) + 1)
+             else h
+           in
+           if h > t.cycle then begin
+             Array.iter
+               (fun sm -> Sm.account_idle sm ~now:t.cycle ~until:h)
+               t.sms;
+             t.cycle <- h
+           end);
+    if not (cap_hit ()) then begin
+      step t d;
+      let fp = fingerprint () in
+      if fp <> !last_fingerprint then begin
+        last_fingerprint := fp;
+        last_activity := t.cycle
+      end
+      else if t.cycle - !last_activity > watchdog_cycles then
+        diagnose_stall t launch
     end
-    else if t.cycle - !last_activity > watchdog_cycles then
-      diagnose_stall t launch
   done;
   t.stats.Stats.cycles <- t.cycle;
   if cap_hit () then begin
@@ -194,7 +274,7 @@ let run_launch t ?max_ctas (launch : Launch.t) =
   else true
 
 (* Convenience: one launch on a fresh machine. *)
-let run ?cfg ?max_ctas ?stats ?trace (launch : Launch.t) =
+let run ?cfg ?max_ctas ?stats ?trace ?fast_forward (launch : Launch.t) =
   let t = create_machine ?cfg ?stats ?trace () in
-  ignore (run_launch t ?max_ctas launch);
+  ignore (run_launch t ?max_ctas ?fast_forward launch);
   t

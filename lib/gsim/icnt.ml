@@ -91,3 +91,30 @@ let pop_response t ~now ~sm =
   | Some _ | None -> None
 
 let pending_responses t ~sm = Queue.length t.to_sm.(sm)
+
+(* Fast-forward contract: earliest cycle >= now at which an in-flight
+   transfer matures.  Both queue families are FIFO in arrival time
+   (the latency is a constant added to a monotone enqueue clock), so
+   only the heads need inspecting.  [Some now] — a head has already
+   arrived and its consumer must run; [None] — nothing in flight. *)
+let next_wake t ~now =
+  let active = ref false in
+  let horizon = ref max_int in
+  let candidate c =
+    if c <= now then active := true else if c < !horizon then horizon := c
+  in
+  Array.iter
+    (fun q ->
+      match Queue.peek_opt q with
+      | Some req -> candidate req.Request.t_arrive
+      | None -> ())
+    t.to_part;
+  Array.iter
+    (fun q ->
+      match Queue.peek_opt q with
+      | Some req -> candidate req.Request.t_resp_arrive
+      | None -> ())
+    t.to_sm;
+  if !active then Some now
+  else if !horizon = max_int then None
+  else Some !horizon

@@ -30,3 +30,9 @@ val pop_request : t -> now:int -> part:int -> Request.t option
 val inject_response : t -> now:int -> Request.t -> unit
 val pop_response : t -> now:int -> sm:int -> Request.t option
 val pending_responses : t -> sm:int -> int
+
+val next_wake : t -> now:int -> int option
+(** Fast-forward contract: earliest cycle [>= now] at which an
+    in-flight transfer matures (both queue families are FIFO in arrival
+    time, so only the heads are inspected).  [Some now] — an arrived
+    head awaits its consumer; [None] — nothing in flight. *)

@@ -199,3 +199,30 @@ let cycle t ~now ~icnt =
 let idle t =
   Queue.is_empty t.input && Queue.is_empty t.dram && Queue.is_empty t.hits
   && Queue.is_empty t.resp
+
+(* Fast-forward contract: earliest cycle >= now at which the partition
+   can make progress on its own.  A non-empty input queue is active
+   every cycle (the head is retried, mutating reservation-fail stats on
+   failure), as is a pending response injection.  The DRAM and ROP-hit
+   queues are FIFO in ready time — DRAM ready times are
+   [begin_at + dram_latency] with [begin_at] monotone by construction
+   of [schedule_dram], hit ready times are a constant past a monotone
+   enqueue clock — so only their heads need inspecting. *)
+let next_wake t ~now =
+  if not (Queue.is_empty t.input) || not (Queue.is_empty t.resp) then Some now
+  else begin
+    let active = ref false in
+    let horizon = ref max_int in
+    let candidate c =
+      if c <= now then active := true else if c < !horizon then horizon := c
+    in
+    (match Queue.peek_opt t.dram with
+    | Some txn -> candidate txn.d_ready
+    | None -> ());
+    (match Queue.peek_opt t.hits with
+    | Some h -> candidate h.h_ready
+    | None -> ());
+    if !active then Some now
+    else if !horizon = max_int then None
+    else Some !horizon
+  end

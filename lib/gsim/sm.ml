@@ -587,6 +587,55 @@ let cycle t ~now ~icnt =
 let idle t =
   t.residents = [] && Queue.is_empty t.ldst_q && Queue.is_empty t.hit_pending
 
+(* ---- fast-forward contract (see DESIGN) ----
+
+   [next_wake t ~now] is the earliest cycle >= now at which this SM can
+   make progress without an external stimulus (an interconnect response
+   is the interconnect's wake, not ours):
+     - [Some now]  — the SM is active this cycle: a pending LD/ST queue
+       entry (retried every cycle, mutating reservation-fail stats), a
+       ready warp, an expired block, or a matured local hit completion;
+     - [Some c]    — quiescent until [c]: the earliest of the pending
+       block expiries and the L1-hit completion at the queue head
+       (FIFO with a constant latency, so the head is minimal);
+     - [None]      — nothing pending at all; only a response can wake
+       this SM.
+   Busy functional units are deliberately NOT wake sources: a unit
+   freeing up with no ready warp changes nothing, and its per-cycle
+   occupancy samples are reconstructed in batch by [account_idle]. *)
+let next_wake t ~now =
+  if not (Queue.is_empty t.ldst_q) then Some now
+  else begin
+    let active = ref false in
+    let horizon = ref max_int in
+    let candidate c =
+      if c <= now then active := true else if c < !horizon then horizon := c
+    in
+    Array.iter
+      (fun slot ->
+        match slot.state with
+        | W_ready -> active := true
+        | W_blocked_until c -> candidate c
+        | W_waiting_mem | W_barrier | W_done | W_empty -> ())
+      t.slots;
+    (match Queue.peek_opt t.hit_pending with
+    | Some hc -> candidate hc.hc_ready
+    | None -> ());
+    if !active then Some now
+    else if !horizon = max_int then None
+    else Some !horizon
+  end
+
+(* Reconstruct the per-cycle [sample_occupancy] contributions for the
+   skipped range [now, until): while the SM is quiescent its LD/ST
+   queue is empty and no state mutates, so the only samples the naive
+   loop would have taken are the busy-until tails of the three units. *)
+let account_idle t ~now ~until =
+  let span busy_until = max 0 (min busy_until until - now) in
+  Stats.record_unit_busy_span t.stats Exec.SP (span t.sp_busy_until);
+  Stats.record_unit_busy_span t.stats Exec.SFU (span t.sfu_busy_until);
+  Stats.record_unit_busy_span t.stats Exec.LDST (span t.ldst_busy_until)
+
 (* (in-flight L1 MSHR entries, LD/ST queue depth) — the per-SM
    occupancy timeline the trace layer samples. *)
 let occupancy_sample t = (Cache.mshr_in_use t.l1, Queue.length t.ldst_q)

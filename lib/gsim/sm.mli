@@ -29,6 +29,20 @@ val try_launch : t -> Launch.t -> cta_lin:int -> bool
 val cycle : t -> now:int -> icnt:Icnt.t -> unit
 val idle : t -> bool
 
+val next_wake : t -> now:int -> int option
+(** Fast-forward contract: earliest cycle [>= now] at which the SM can
+    make progress without an external stimulus.  [Some now] — active
+    this cycle (non-empty LD/ST queue, a ready warp, an expired block,
+    or a matured local hit); [Some c] — quiescent until [c] (earliest
+    block expiry / L1-hit completion); [None] — only an interconnect
+    response can wake it.  Busy functional units are not wake sources;
+    their skipped occupancy samples are restored by {!account_idle}. *)
+
+val account_idle : t -> now:int -> until:int -> unit
+(** Batch-account the per-cycle unit-occupancy samples the naive loop
+    would have taken over the skipped quiescent range [\[now, until)],
+    keeping fast-forwarded {!Stats.t} byte-identical to naive runs. *)
+
 val occupancy_sample : t -> int * int
 (** (in-flight L1 MSHR entries, LD/ST queue depth) — the per-SM
     occupancy timeline {!Gpu.step} samples when tracing. *)

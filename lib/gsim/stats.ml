@@ -117,6 +117,11 @@ let unit_index = function Exec.SP -> 0 | Exec.SFU -> 1 | Exec.LDST -> 2
 
 let record_unit_busy t u = t.unit_busy.(unit_index u) <- t.unit_busy.(unit_index u) + 1
 
+(* Batch form for the fast-forward path: [n] skipped cycles in which
+   the unit's first stage would have sampled busy. *)
+let record_unit_busy_span t u n =
+  if n > 0 then t.unit_busy.(unit_index u) <- t.unit_busy.(unit_index u) + n
+
 let record_l1_event t outcome cls =
   let i = l1_event_index outcome in
   t.l1_events.(i) <- t.l1_events.(i) + 1;

@@ -68,6 +68,11 @@ type t = {
 val create : unit -> t
 val unit_index : Exec.unit_class -> int
 val record_unit_busy : t -> Exec.unit_class -> unit
+
+val record_unit_busy_span : t -> Exec.unit_class -> int -> unit
+(** Batch form for the fast-forward path: [n] skipped cycles in which
+    the unit's first stage would have sampled busy. *)
+
 val record_l1_event : t -> Cache.outcome -> cls -> unit
 
 val record_l1_store_event : t -> Cache.outcome -> unit

@@ -455,7 +455,7 @@ let stats_of_json v : Stats.t =
       (match member "truncated" v with Null -> false | b -> get_bool b);
   }
 
-(* ---- Config.t (one-way, for provenance) ---- *)
+(* ---- Config.t ---- *)
 
 let config_to_json (c : Config.t) =
   let cta_sched =
@@ -513,6 +513,67 @@ let config_to_json (c : Config.t) =
       ("prefetch_ndet", Bool c.Config.prefetch_ndet);
       ("bypass_ndet", Bool c.Config.bypass_ndet);
       ("pc_policies", Arr (List.map policy c.Config.pc_policies)) ]
+
+let config_of_json v : Config.t =
+  let cta_sched =
+    match member "cta_sched" v with
+    | Str "round_robin" -> Config.Round_robin
+    | Obj _ as o -> Config.Clustered (int_field "clustered" o)
+    | w -> raise (Parse_error ("bad cta_sched: " ^ type_name w))
+  in
+  let warp_sched =
+    match member "warp_sched" v with
+    | Str "lrr" -> Config.Lrr
+    | Str "gto" -> Config.Gto
+    | Str s -> raise (Parse_error ("unknown warp_sched " ^ s))
+    | w -> raise (Parse_error ("bad warp_sched: " ^ type_name w))
+  in
+  let policy pv =
+    ( (str_field "kernel" pv, int_field "pc" pv),
+      {
+        Config.lp_split = int_field "split" pv;
+        lp_prefetch = get_bool (member "prefetch" pv);
+        lp_bypass = get_bool (member "bypass" pv);
+      } )
+  in
+  {
+    Config.n_sms = int_field "n_sms" v;
+    warp_size = int_field "warp_size" v;
+    max_threads_per_sm = int_field "max_threads_per_sm" v;
+    max_ctas_per_sm = int_field "max_ctas_per_sm" v;
+    shared_mem_per_sm = int_field "shared_mem_per_sm" v;
+    l1_sets = int_field "l1_sets" v;
+    l1_ways = int_field "l1_ways" v;
+    line_size = int_field "line_size" v;
+    l1_mshr_entries = int_field "l1_mshr_entries" v;
+    l1_mshr_max_merge = int_field "l1_mshr_max_merge" v;
+    l1_hit_latency = int_field "l1_hit_latency" v;
+    n_mem_partitions = int_field "n_mem_partitions" v;
+    l2_sets = int_field "l2_sets" v;
+    l2_ways = int_field "l2_ways" v;
+    l2_mshr_entries = int_field "l2_mshr_entries" v;
+    l2_latency = int_field "l2_latency" v;
+    icnt_latency = int_field "icnt_latency" v;
+    icnt_buffer_size = int_field "icnt_buffer_size" v;
+    l2_input_queue_size = int_field "l2_input_queue_size" v;
+    dram_latency = int_field "dram_latency" v;
+    dram_interval = int_field "dram_interval" v;
+    dram_queue_size = int_field "dram_queue_size" v;
+    sp_latency = int_field "sp_latency" v;
+    sfu_latency = int_field "sfu_latency" v;
+    sfu_initiation = int_field "sfu_initiation" v;
+    shared_latency = int_field "shared_latency" v;
+    shared_banks = int_field "shared_banks" v;
+    max_warp_insts = int_field "max_warp_insts" v;
+    max_cycles = int_field "max_cycles" v;
+    cta_sched;
+    warp_sched;
+    warp_split_width = int_field "warp_split_width" v;
+    l2_cluster = int_field "l2_cluster" v;
+    prefetch_ndet = get_bool (member "prefetch_ndet" v);
+    bypass_ndet = get_bool (member "bypass_ndet" v);
+    pc_policies = List.map policy (get_list (member "pc_policies" v));
+  }
 
 (* ---- classification summaries ---- *)
 

@@ -61,7 +61,13 @@ val stats_of_json : Json.t -> Stats.t
 
 val config_to_json : Config.t -> Json.t
 (** Every scalar knob plus the policy variants, for provenance in sweep
-    outputs (one-way: configs are constructed in-process, not parsed). *)
+    outputs and cache entries. *)
+
+val config_of_json : Json.t -> Config.t
+(** Inverse of {!config_to_json}; together with {!Config.to_digest}
+    this gives configs both a round-trippable JSON form and a canonical
+    content digest.
+    @raise Json.Parse_error on schema mismatch. *)
 
 (** {1 Static classification summaries} *)
 

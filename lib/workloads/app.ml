@@ -39,6 +39,7 @@ type t = {
   name : string;
   category : category;
   description : string;
+  seed : int; (* PRNG seed of the synthetic dataset (see Prng.create) *)
   make : scale -> run;
 }
 

@@ -30,6 +30,11 @@ type t = {
   name : string;
   category : category;
   description : string;
+  seed : int;
+      (** PRNG seed of the app's synthetic dataset ({!Prng.create}) —
+          part of a run's content identity: the sweep cache folds it
+          into job digests, so regenerating a dataset under a new seed
+          invalidates cached results for the app. *)
   make : scale -> run;
 }
 

@@ -173,5 +173,6 @@ let app =
     App.name = "bfs";
     category = App.Graph;
     description = "frontier-based breadth-first search (paper Code 1)";
+    seed = 0xBF5;
     make;
   }

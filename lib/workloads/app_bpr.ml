@@ -128,5 +128,6 @@ let app =
     App.name = "bpr";
     category = App.Image;
     description = "back-propagation layer forward (shared-memory reduction)";
+    seed = 0xB6B6;
     make;
   }

@@ -115,5 +115,6 @@ let app =
     App.name = "ccl";
     category = App.Graph;
     description = "connected-component labeling (min-label propagation)";
+    seed = 0xCC1;
     make;
   }

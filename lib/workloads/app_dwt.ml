@@ -111,5 +111,6 @@ let app =
     App.name = "dwt";
     category = App.Image;
     description = "2-D Haar wavelet transform (row pass + column pass)";
+    seed = 0xD3A7;
     make;
   }

@@ -123,5 +123,6 @@ let app =
     App.name = "gaus";
     category = App.Linear;
     description = "Gaussian elimination (Fan1/Fan2 per pivot)";
+    seed = 0x6A05;
     make;
   }

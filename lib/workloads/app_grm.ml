@@ -144,5 +144,6 @@ let app =
     App.name = "grm";
     category = App.Linear;
     description = "Gram-Schmidt QR decomposition (3 kernels per column)";
+    seed = 0x9A11;
     make;
   }

@@ -129,5 +129,6 @@ let app =
     App.name = "htw";
     category = App.Image;
     description = "heart-wall tracking (windowed SSD around loaded points)";
+    seed = 0x47EA;
     make;
   }

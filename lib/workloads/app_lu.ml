@@ -103,5 +103,6 @@ let app =
     App.name = "lu";
     category = App.Linear;
     description = "in-place LU decomposition (row scale + trailing update)";
+    seed = 0x10DE;
     make;
   }

@@ -160,5 +160,6 @@ let app =
     App.name = "mis";
     category = App.Graph;
     description = "maximal independent set (Luby's algorithm)";
+    seed = 0x315;
     make;
   }

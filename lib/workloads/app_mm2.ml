@@ -107,5 +107,6 @@ let app =
     App.name = "2mm";
     category = App.Linear;
     description = "two dense matrix multiplications (tmp = A*B; out = tmp*C)";
+    seed = 0x2A2A;
     make;
   }

@@ -167,5 +167,6 @@ let app =
     App.name = "mriq";
     category = App.Image;
     description = "MRI Q-matrix computation (SFU-heavy, const k-space)";
+    seed = 0x3319;
     make;
   }

@@ -249,5 +249,6 @@ let app =
     App.name = "mst";
     category = App.Graph;
     description = "Boruvka minimum spanning forest (atomic-min candidates)";
+    seed = 0x357;
     make;
   }

@@ -87,5 +87,6 @@ let app =
     App.name = "spmv";
     category = App.Linear;
     description = "CSR sparse matrix * dense vector, one thread per row";
+    seed = 0x59A7;
     make;
   }

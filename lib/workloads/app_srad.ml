@@ -267,5 +267,6 @@ let app =
     category = App.Image;
     description =
       "speckle-reducing anisotropic diffusion (index-array neighbour gathers)";
+    seed = 0x5AAD;
     make;
   }

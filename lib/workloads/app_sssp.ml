@@ -136,5 +136,6 @@ let app =
     App.name = "sssp";
     category = App.Graph;
     description = "single-source shortest paths (Bellman-Ford, atomic-min)";
+    seed = 0x5559;
     make;
   }

@@ -116,9 +116,9 @@ let test_advisor_preserves_results () =
   let advice = A.advise_app app Workloads.App.Small in
   let run = app.Workloads.App.make Workloads.App.Small in
   let cfg =
-    { Gsim.Config.default with
-      Gsim.Config.max_warp_insts = 0;
-      pc_policies = A.policies advice }
+    Gsim.Config.default
+    |> Gsim.Config.with_caps ~max_warp_insts:0 ()
+    |> Gsim.Config.with_pc_policies (A.policies advice)
   in
   let machine = Gsim.Gpu.create_machine ~cfg () in
   let continue_ = ref true in

@@ -9,7 +9,7 @@ let cap = 8_000
 
 let stats_json app =
   let cfg =
-    { Gsim.Config.default with Gsim.Config.max_warp_insts = cap }
+    Gsim.Config.default |> Gsim.Config.with_caps ~max_warp_insts:cap ()
   in
   let a = Workloads.Suite.find app in
   let r = Critload.Runner.run_timing ~cfg a Workloads.App.Small in
@@ -38,7 +38,7 @@ let test_json_roundtrip_lossless app () =
 (* an instruction cap marks the run truncated and the flag survives the
    wire format *)
 let test_truncated_flag () =
-  let cfg = { Gsim.Config.default with Gsim.Config.max_warp_insts = 500 } in
+  let cfg = Gsim.Config.default |> Gsim.Config.with_caps ~max_warp_insts:500 () in
   let a = Workloads.Suite.find "bfs" in
   let r =
     Critload.Runner.run_timing ~cfg ~warmup:false a Workloads.App.Small

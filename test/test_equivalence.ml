@@ -101,15 +101,15 @@ let run_kernel kernel inputs ~mode =
   | `Cycle cfg -> ignore (Gsim.Gpu.run ~cfg launch));
   Array.init n_threads (fun i -> Gsim.Mem.get_u32 global (out_base + (4 * i)))
 
-let uncapped = { Gsim.Config.default with Gsim.Config.max_warp_insts = 0 }
+let uncapped = Gsim.Config.default |> Gsim.Config.with_caps ~max_warp_insts:0 ()
 
 let modes =
   [
     ("cycle", `Cycle uncapped);
-    ("gto", `Cycle { uncapped with Gsim.Config.warp_sched = Gsim.Config.Gto });
-    ("split", `Cycle { uncapped with Gsim.Config.warp_split_width = 8 });
-    ("prefetch", `Cycle { uncapped with Gsim.Config.prefetch_ndet = true });
-    ("bypass", `Cycle { uncapped with Gsim.Config.bypass_ndet = true });
+    ("gto", `Cycle (uncapped |> Gsim.Config.with_warp_sched Gsim.Config.Gto));
+    ("split", `Cycle (uncapped |> Gsim.Config.with_warp_split 8));
+    ("prefetch", `Cycle (uncapped |> Gsim.Config.with_prefetch_ndet true));
+    ("bypass", `Cycle (uncapped |> Gsim.Config.with_bypass_ndet true));
   ]
 
 let prop_equivalence =

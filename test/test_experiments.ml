@@ -205,7 +205,7 @@ let test_ablation_split_runs () =
   in
   let split =
     E.ablation_run scale app
-      { (E.timing_cfg ()) with Gsim.Config.warp_split_width = 8 }
+      (E.timing_cfg () |> Gsim.Config.with_warp_split 8)
       "split8"
   in
   Alcotest.(check bool) "both ran" true
@@ -216,7 +216,7 @@ let test_ablation_cta_sched_runs () =
   let rr = E.ablation_run scale app (E.timing_cfg ()) "rr" in
   let cl =
     E.ablation_run scale app
-      { (E.timing_cfg ()) with Gsim.Config.cta_sched = Gsim.Config.Clustered 2 }
+      (E.timing_cfg () |> Gsim.Config.with_cta_sched (Gsim.Config.Clustered 2))
       "cl2"
   in
   Alcotest.(check bool) "both ran" true (rr.E.ab_cycles > 0 && cl.E.ab_cycles > 0)
@@ -247,7 +247,7 @@ let test_render_all_smoke () =
 (* Every application runs through the cycle simulator at Small scale:
    instructions issue, CTAs complete, and the stats stay consistent. *)
 let timing_smoke (app : App.t) () =
-  let cfg = { Gsim.Config.default with Gsim.Config.max_warp_insts = 15_000 } in
+  let cfg = Gsim.Config.default |> Gsim.Config.with_caps ~max_warp_insts:15_000 () in
   let r = Critload.Runner.run_timing ~cfg app scale in
   let s = r.Critload.Runner.tr_stats in
   Alcotest.(check bool) "instructions issued" true (s.Gsim.Stats.warp_insts > 0);

@@ -1,0 +1,125 @@
+(* Fast-forward equivalence: the event-driven quiescence jump in the
+   cycle simulator must be observably invisible.  For every app of the
+   suite, a fast-forwarded run must produce a byte-identical Stats.t
+   JSON document and an identical trace event stream compared to the
+   naive cycle-by-cycle loop — including under truncation caps and
+   with tracing disabled (where jumps are not pinned to occupancy
+   sample boundaries). *)
+
+module R = Critload.Runner
+module Json = Gsim.Stats_io.Json
+
+let cap_cfg =
+  Gsim.Config.default |> Gsim.Config.with_caps ~max_warp_insts:6_000 ()
+
+let stats_bytes (s : Gsim.Stats.t) =
+  Json.to_string (Gsim.Stats_io.stats_to_json s)
+
+(* One timing run; returns the stats document and a digest of the full
+   trace event stream (each event rendered to its JSON line). *)
+let run_traced ~fast_forward ~cfg app =
+  let buf = Buffer.create (1 lsl 16) in
+  let trace =
+    Gsim.Trace.stream (fun ev ->
+        Buffer.add_string buf (Json.to_string (Gsim.Trace.event_to_json ev));
+        Buffer.add_char buf '\n')
+  in
+  let r = R.run_timing ~cfg ~warmup:false ~trace ~fast_forward app
+      Workloads.App.Small
+  in
+  (stats_bytes r.R.tr_stats, Digest.to_hex (Digest.string (Buffer.contents buf)))
+
+let check_app name =
+  let app = Workloads.Suite.find name in
+  let s_naive, t_naive = run_traced ~fast_forward:false ~cfg:cap_cfg app in
+  let s_fast, t_fast = run_traced ~fast_forward:true ~cfg:cap_cfg app in
+  Alcotest.(check string) (name ^ ": stats bytes identical") s_naive s_fast;
+  Alcotest.(check string) (name ^ ": trace digest identical") t_naive t_fast
+
+(* Untraced: jumps are not capped at occupancy boundaries, a different
+   code path than the traced case above. *)
+let run_untraced ~fast_forward ~cfg app =
+  let r =
+    R.run_timing ~cfg ~warmup:false ~fast_forward app Workloads.App.Small
+  in
+  stats_bytes r.R.tr_stats
+
+let test_untraced () =
+  List.iter
+    (fun name ->
+      let app = Workloads.Suite.find name in
+      Alcotest.(check string)
+        (name ^ ": untraced stats identical")
+        (run_untraced ~fast_forward:false ~cfg:cap_cfg app)
+        (run_untraced ~fast_forward:true ~cfg:cap_cfg app))
+    [ "2mm"; "bfs"; "spmv" ]
+
+(* A cycle cap must truncate both loops at the identical cycle. *)
+let test_truncation () =
+  let cfg =
+    Gsim.Config.default
+    |> Gsim.Config.with_caps ~max_warp_insts:0 ~max_cycles:3_000 ()
+  in
+  let app = Workloads.Suite.find "gaus" in
+  let naive = run_untraced ~fast_forward:false ~cfg app in
+  let fast = run_untraced ~fast_forward:true ~cfg app in
+  Alcotest.(check string) "truncated stats identical" naive fast;
+  let r = R.run_timing ~cfg ~warmup:false ~fast_forward:true app
+      Workloads.App.Small
+  in
+  Alcotest.(check bool) "run was truncated" true
+    r.R.tr_stats.Gsim.Stats.truncated
+
+(* The warmup pre-pass (functional skip to the first heavy launch)
+   composes with fast-forward. *)
+let test_with_warmup () =
+  let app = Workloads.Suite.find "bfs" in
+  let one ff =
+    let r =
+      R.run_timing ~cfg:cap_cfg ~warmup:true ~fast_forward:ff app
+        Workloads.App.Small
+    in
+    stats_bytes r.R.tr_stats
+  in
+  Alcotest.(check string) "warmup + fast-forward identical" (one false)
+    (one true)
+
+(* The unified entry point defaults to fast-forward and reports the
+   same statistics. *)
+let test_runner_report () =
+  let app = Workloads.Suite.find "2mm" in
+  let via_run =
+    match R.run ~cfg:cap_cfg ~scale:Workloads.App.Small ~warmup:false app with
+    | Ok rep -> stats_bytes (R.Report.stats_exn rep)
+    | Error e -> Alcotest.failf "run failed: %s" (Gsim.Sim_error.to_string e)
+  in
+  Alcotest.(check string) "Runner.run = naive run_timing"
+    (run_untraced ~fast_forward:false ~cfg:cap_cfg app)
+    via_run;
+  match R.run ~mode:R.Func ~scale:Workloads.App.Small app with
+  | Error e -> Alcotest.failf "func run failed: %s" (Gsim.Sim_error.to_string e)
+  | Ok rep ->
+      let f = R.Report.func_exn rep in
+      Alcotest.(check bool) "func report verified" true f.R.fr_check;
+      Alcotest.(check bool) "func report has no stats" true
+        (rep.R.Report.stats = None)
+
+let all_apps_cases =
+  List.map
+    (fun (a : Workloads.App.t) ->
+      let name = a.Workloads.App.name in
+      Alcotest.test_case name `Slow (fun () -> check_app name))
+    Workloads.Suite.all
+
+let () =
+  Alcotest.run "fastforward"
+    [
+      ("equivalence", all_apps_cases);
+      ( "edge-cases",
+        [
+          Alcotest.test_case "untraced" `Slow test_untraced;
+          Alcotest.test_case "truncation" `Quick test_truncation;
+          Alcotest.test_case "warmup" `Slow test_with_warmup;
+          Alcotest.test_case "runner-report" `Quick test_runner_report;
+        ] );
+    ]

@@ -168,7 +168,7 @@ let prop_coalesce_count_bounds =
 (* ---------------- interconnect ---------------- *)
 
 let test_icnt_credits_and_latency () =
-  let cfg = { Gsim.Config.default with Gsim.Config.icnt_buffer_size = 2 } in
+  let cfg = Gsim.Config.default |> Gsim.Config.with_icnt_width 2 in
   let icnt = Gsim.Icnt.create cfg in
   Alcotest.(check bool) "can inject" true (Gsim.Icnt.can_inject icnt ~sm:0);
   let r1 = mk_req 0 in
@@ -203,7 +203,7 @@ let test_icnt_response_path () =
 let test_l2_cluster_partitioning () =
   (* with l2_cluster on, SMs in different clusters use disjoint
      partition subsets for the same address *)
-  let cfg = { Gsim.Config.default with Gsim.Config.l2_cluster = 7 } in
+  let cfg = Gsim.Config.default |> Gsim.Config.with_l2_cluster 7 in
   let p0 = Gsim.Icnt.partition_of cfg ~sm:0 0 in
   let p1 = Gsim.Icnt.partition_of cfg ~sm:13 0 in
   Alcotest.(check bool) "clusters map to different partitions" true (p0 <> p1);
@@ -273,7 +273,7 @@ let run_with_warp_size kernel ~n_threads ~setup warp_size =
       ~params:[ ("a", 0L); ("n", Int64.of_int n_threads) ]
       ~global
   in
-  let cfg = { Gsim.Config.default with Gsim.Config.warp_size } in
+  let cfg = Gsim.Config.default |> Gsim.Config.with_warp_size warp_size in
   ignore (Gsim.Funcsim.run ~cfg launch);
   global
 
@@ -396,7 +396,7 @@ let test_cycle_sim_deterministic () =
   let run () =
     let app = Workloads.Suite.find "mis" in
     let r = app.Workloads.App.make Workloads.App.Small in
-    let cfg = { Gsim.Config.default with Gsim.Config.max_warp_insts = 20_000 } in
+    let cfg = Gsim.Config.default |> Gsim.Config.with_caps ~max_warp_insts:20_000 () in
     let machine = Gsim.Gpu.create_machine ~cfg () in
     let continue_ = ref true in
     while !continue_ do

@@ -57,11 +57,11 @@ let test_classification_stable_under_roundtrip () =
    spmv, whose edge-array walks are sequential. *)
 let test_prefetcher_reduces_misses () =
   let app = Workloads.Suite.find "spmv" in
-  let cap = { Gsim.Config.default with Gsim.Config.max_warp_insts = 40_000 } in
+  let cap = Gsim.Config.default |> Gsim.Config.with_caps ~max_warp_insts:40_000 () in
   let base = Critload.Runner.run_timing ~cfg:cap app App.Small in
   let pf =
     Critload.Runner.run_timing
-      ~cfg:{ cap with Gsim.Config.prefetch_ndet = true }
+      ~cfg:(cap |> Gsim.Config.with_prefetch_ndet true)
       app App.Small
   in
   let miss r =
@@ -89,7 +89,7 @@ let test_barriers_under_cycle_sim () =
     | Some l -> ignore (Gsim.Funcsim.run l)
   done;
   (* cycle-level, uncapped *)
-  let cfg = { Gsim.Config.default with Gsim.Config.max_warp_insts = 0 } in
+  let cfg = Gsim.Config.default |> Gsim.Config.with_caps ~max_warp_insts:0 () in
   let machine = Gsim.Gpu.create_machine ~cfg () in
   let continue_ = ref true in
   while !continue_ do
@@ -114,7 +114,7 @@ let test_timing_functional_memory_agreement () =
     | None -> continue_ := false
     | Some l -> ignore (Gsim.Funcsim.run l)
   done;
-  let cfg = { Gsim.Config.default with Gsim.Config.max_warp_insts = 0 } in
+  let cfg = Gsim.Config.default |> Gsim.Config.with_caps ~max_warp_insts:0 () in
   let machine = Gsim.Gpu.create_machine ~cfg () in
   let continue_ = ref true in
   while !continue_ do
@@ -139,9 +139,9 @@ let test_warp_split_preserves_results () =
   let app = Workloads.Suite.find "mis" in
   let run = app.App.make App.Small in
   let cfg =
-    { Gsim.Config.default with
-      Gsim.Config.max_warp_insts = 0;
-      warp_split_width = 8 }
+    Gsim.Config.default
+    |> Gsim.Config.with_caps ~max_warp_insts:0 ()
+    |> Gsim.Config.with_warp_split 8
   in
   let machine = Gsim.Gpu.create_machine ~cfg () in
   let continue_ = ref true in
@@ -158,9 +158,9 @@ let test_gto_preserves_results () =
   let app = Workloads.Suite.find "bfs" in
   let run = app.App.make App.Small in
   let cfg =
-    { Gsim.Config.default with
-      Gsim.Config.max_warp_insts = 0;
-      warp_sched = Gsim.Config.Gto }
+    Gsim.Config.default
+    |> Gsim.Config.with_caps ~max_warp_insts:0 ()
+    |> Gsim.Config.with_warp_sched Gsim.Config.Gto
   in
   let machine = Gsim.Gpu.create_machine ~cfg () in
   let continue_ = ref true in
@@ -176,9 +176,9 @@ let test_bypass_preserves_results () =
   let app = Workloads.Suite.find "ccl" in
   let run = app.App.make App.Small in
   let cfg =
-    { Gsim.Config.default with
-      Gsim.Config.max_warp_insts = 0;
-      bypass_ndet = true }
+    Gsim.Config.default
+    |> Gsim.Config.with_caps ~max_warp_insts:0 ()
+    |> Gsim.Config.with_bypass_ndet true
   in
   let machine = Gsim.Gpu.create_machine ~cfg () in
   let continue_ = ref true in
@@ -199,9 +199,9 @@ let test_prefetch_preserves_results () =
   let app = Workloads.Suite.find "spmv" in
   let run = app.App.make App.Small in
   let cfg =
-    { Gsim.Config.default with
-      Gsim.Config.max_warp_insts = 0;
-      prefetch_ndet = true }
+    Gsim.Config.default
+    |> Gsim.Config.with_caps ~max_warp_insts:0 ()
+    |> Gsim.Config.with_prefetch_ndet true
   in
   let machine = Gsim.Gpu.create_machine ~cfg () in
   let continue_ = ref true in

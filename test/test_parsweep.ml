@@ -7,7 +7,7 @@
 module P = Critload.Parsweep
 module Json = Gsim.Stats_io.Json
 
-let cfg = { Gsim.Config.default with Gsim.Config.max_warp_insts = 6_000 }
+let cfg = Gsim.Config.default |> Gsim.Config.with_caps ~max_warp_insts:6_000 ()
 let apps4 = [ "2mm"; "gaus"; "bfs"; "spmv" ]
 
 let mk_jobs apps =

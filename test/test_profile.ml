@@ -132,7 +132,7 @@ let test_json_roundtrip () =
 
 let run_profiled ?(cfg = Gsim.Config.default) app_name =
   let app = Workloads.Suite.find app_name in
-  let cfg = { cfg with Gsim.Config.max_warp_insts = 8000 } in
+  let cfg = cfg |> Gsim.Config.with_caps ~max_warp_insts:8000 () in
   let p = P.create () in
   let r =
     Critload.Runner.run_timing ~cfg ~warmup:false ~trace:(P.sink p) app
@@ -180,7 +180,7 @@ let fail_kinds =
 let reconcile_app name () =
   let app = Workloads.Suite.find name in
   let cfg =
-    { Gsim.Config.default with Gsim.Config.max_warp_insts = 8000 }
+    Gsim.Config.default |> Gsim.Config.with_caps ~max_warp_insts:8000 ()
   in
   let r0 =
     Critload.Runner.run_timing ~cfg ~warmup:false app Workloads.App.Small

@@ -1,0 +1,193 @@
+(* The content-addressed sweep cache: digests must track exactly the
+   inputs a result depends on (kernels as normalized text, launch
+   geometry, dataset seed, config, mode, simulator tag) and ignore
+   presentation (label) and observably-equivalent knobs (fast-forward);
+   a warm sweep must serve every job from the store with byte-identical
+   output and zero re-simulation; corrupt entries must degrade to a
+   re-run, never an error. *)
+
+module P = Critload.Parsweep
+module Json = Gsim.Stats_io.Json
+
+let cfg = Gsim.Config.default |> Gsim.Config.with_caps ~max_warp_insts:6_000 ()
+
+let fresh_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "critload-cache-test-%d-%d" (Unix.getpid ()) !n)
+    in
+    (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    d
+
+let rm_rf dir =
+  match Sys.readdir dir with
+  | files ->
+      Array.iter (fun f -> try Sys.remove (Filename.concat dir f) with _ -> ())
+        files;
+      (try Unix.rmdir dir with _ -> ())
+  | exception Sys_error _ -> ()
+
+(* ---- digest properties ---- *)
+
+let test_digest_invariants () =
+  let j = P.job ~cfg ~warmup:false "2mm" in
+  Alcotest.(check string) "digest deterministic" (P.job_digest j)
+    (P.job_digest j);
+  Alcotest.(check string) "label excluded" (P.job_digest j)
+    (P.job_digest (P.job ~label:"other" ~cfg ~warmup:false "2mm"));
+  Alcotest.(check string) "fast-forward excluded" (P.job_digest j)
+    (P.job_digest (P.job ~cfg ~warmup:false ~fast_forward:false "2mm"));
+  let differs what j' =
+    Alcotest.(check bool) (what ^ " changes the digest") true
+      (P.job_digest j <> P.job_digest j')
+  in
+  differs "config"
+    (P.job ~cfg:(cfg |> Gsim.Config.with_mshrs 32) ~warmup:false "2mm");
+  differs "scale" (P.job ~cfg ~warmup:false ~scale:Workloads.App.Default "2mm");
+  differs "mode" (P.job ~cfg ~warmup:false ~mode:P.Func "2mm");
+  differs "warmup" (P.job ~cfg "2mm");
+  differs "profile" (P.job ~cfg ~warmup:false ~profile:true "2mm");
+  differs "app" (P.job ~cfg ~warmup:false "gaus")
+
+let test_seed_changes_fingerprint () =
+  let app = Workloads.Suite.find "2mm" in
+  let app' = { app with Workloads.App.seed = app.Workloads.App.seed + 1 } in
+  Alcotest.(check bool) "seed change invalidates" true
+    (P.app_fingerprint app Workloads.App.Small
+    <> P.app_fingerprint app' Workloads.App.Small)
+
+(* ---- kernel-text sensitivity ---- *)
+
+let mini_app text =
+  let kernel = Ptx.Parse.kernel_of_string text in
+  {
+    Workloads.App.name = "mini";
+    category = Workloads.App.Linear;
+    description = "synthetic cache-test app";
+    seed = 1;
+    make =
+      (fun _scale ->
+        let global = Gsim.Mem.create 4096 in
+        Workloads.App.single_launch ~global
+          ~check:(fun () -> true)
+          (Gsim.Launch.create ~kernel ~grid:(1, 1, 1) ~block:(32, 1, 1)
+             ~params:[ ("a", 0L) ] ~global));
+  }
+
+let kernel_a =
+  ".kernel k (.param .u64 a)\n.reg 2 .pred 1 .shared 0\n{\n\
+  \  ld.param.u64 %r0, [a];\n  ld.global.u32 %r1, [%r0+64];\n  exit;\n}"
+
+(* same program, different surface syntax *)
+let kernel_a_reformatted =
+  ".kernel k (.param .u64 a)   // comment\n.reg 2 .pred 1 .shared 0\n{\n\
+  \    ld.param.u64   %r0, [a];\n\n  ld.global.u32 %r1, [%r0+64]; // load\n\
+  \  exit;\n}"
+
+(* different program: the load offset changed *)
+let kernel_b =
+  ".kernel k (.param .u64 a)\n.reg 2 .pred 1 .shared 0\n{\n\
+  \  ld.param.u64 %r0, [a];\n  ld.global.u32 %r1, [%r0+128];\n  exit;\n}"
+
+let test_kernel_text_sensitivity () =
+  let fp text =
+    P.app_fingerprint (mini_app text) Workloads.App.Small
+  in
+  Alcotest.(check string) "formatting-only edit keeps the fingerprint"
+    (fp kernel_a) (fp kernel_a_reformatted);
+  Alcotest.(check bool) "changed instruction changes the fingerprint" true
+    (fp kernel_a <> fp kernel_b)
+
+(* ---- store / lookup primitives ---- *)
+
+let test_store_lookup_roundtrip () =
+  let dir = fresh_dir () in
+  let j = P.job ~cfg ~warmup:false "2mm" in
+  Alcotest.(check bool) "empty cache misses" true
+    (P.cache_lookup ~dir j = None);
+  let payload = Json.Obj [ ("x", Json.Int 42) ] in
+  P.cache_store ~dir j payload;
+  (match P.cache_lookup ~dir j with
+  | Some v ->
+      Alcotest.(check string) "payload round-trips"
+        (Json.to_string payload) (Json.to_string v)
+  | None -> Alcotest.fail "stored entry not found");
+  (* a torn / corrupt entry is a miss, not an error *)
+  let entry = Filename.concat dir (P.job_digest j ^ ".json") in
+  let oc = open_out entry in
+  output_string oc "{ not json";
+  close_out oc;
+  Alcotest.(check bool) "corrupt entry degrades to a miss" true
+    (P.cache_lookup ~dir j = None);
+  rm_rf dir
+
+(* ---- cold vs warm sweep ---- *)
+
+let run_counting ~cache_dir jobs =
+  let started = ref 0 and cached = ref 0 in
+  let on_event = function
+    | P.Started _ -> incr started
+    | P.Cached _ -> incr cached
+    | _ -> ()
+  in
+  let outcomes = P.run ~workers:2 ~timeout:300. ~on_event ?cache_dir jobs in
+  (outcomes, !started, !cached)
+
+let test_cold_warm_identical () =
+  let dir = fresh_dir () in
+  (* profiled jobs: the embedded Profile.t must survive the cache too *)
+  let jobs =
+    [ P.job ~cfg ~warmup:false ~profile:true "2mm";
+      P.job ~cfg ~warmup:false ~profile:true "gaus" ]
+  in
+  let cold, started_cold, cached_cold =
+    run_counting ~cache_dir:(Some dir) jobs
+  in
+  Alcotest.(check int) "cold run simulates every job" 2 started_cold;
+  Alcotest.(check int) "cold run hits nothing" 0 cached_cold;
+  let warm, started_warm, cached_warm =
+    run_counting ~cache_dir:(Some dir) jobs
+  in
+  Alcotest.(check int) "warm run simulates nothing" 0 started_warm;
+  Alcotest.(check int) "warm run serves every job from cache" 2 cached_warm;
+  Alcotest.(check string) "cold and warm sweep documents byte-identical"
+    (Json.to_string (P.sweep_to_json ~jobs ~outcomes:cold))
+    (Json.to_string (P.sweep_to_json ~jobs ~outcomes:warm));
+  (* the profile actually crossed the cache *)
+  (match warm.(0) with
+  | P.Completed v ->
+      Alcotest.(check bool) "cached payload embeds the profile" true
+        (Json.member "profile" v <> Json.Null)
+  | P.Failed m -> Alcotest.failf "warm job failed: %s" m);
+  (* no cache dir = full bypass: everything re-simulates *)
+  let _, started_nocache, cached_nocache = run_counting ~cache_dir:None jobs in
+  Alcotest.(check int) "bypass re-simulates" 2 started_nocache;
+  Alcotest.(check int) "bypass reads nothing" 0 cached_nocache;
+  (* a config change misses the warm cache *)
+  let jobs' =
+    [ P.job ~cfg:(cfg |> Gsim.Config.with_mshrs 32) ~warmup:false "2mm" ]
+  in
+  let _, started', cached' = run_counting ~cache_dir:(Some dir) jobs' in
+  Alcotest.(check int) "changed config re-simulates" 1 started';
+  Alcotest.(check int) "changed config hits nothing" 0 cached';
+  rm_rf dir
+
+let () =
+  Alcotest.run "sweepcache"
+    [
+      ( "digest",
+        [
+          Alcotest.test_case "invariants" `Quick test_digest_invariants;
+          Alcotest.test_case "seed" `Quick test_seed_changes_fingerprint;
+          Alcotest.test_case "kernel-text" `Quick test_kernel_text_sensitivity;
+        ] );
+      ( "store",
+        [ Alcotest.test_case "roundtrip" `Quick test_store_lookup_roundtrip ]
+      );
+      ( "sweep",
+        [ Alcotest.test_case "cold-warm" `Slow test_cold_warm_identical ] );
+    ]

@@ -247,7 +247,7 @@ let mk_launch () =
     ~global
 
 (* One SM so both CTAs are co-resident and share an L1. *)
-let e2e_cfg = { Gsim.Config.default with Gsim.Config.n_sms = 1 }
+let e2e_cfg = Gsim.Config.default |> Gsim.Config.with_n_sms 1
 
 let test_e2e_event_stream () =
   let trace = Gsim.Trace.ring_sink ~capacity:65536 in

@@ -1,0 +1,48 @@
+(* Validator for the @bench-smoke alias: the CLI runs the same tiny
+   sweep twice against one cache directory; the second (warm) run must
+   have served every job from the cache — no job may have started a
+   simulation — and both output documents must be byte-identical. *)
+
+module Json = Gsim.Stats_io.Json
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let () =
+  let cold = read_file Sys.argv.(1) in
+  let warm = read_file Sys.argv.(2) in
+  let warm_err = read_file Sys.argv.(3) in
+  (* both documents parse and carry the sweep schema *)
+  List.iter
+    (fun text ->
+      if Json.str_field "schema" (Json.of_string text) <> "critload-sweep-v1"
+      then begin
+        prerr_endline "validate_bench_smoke: unexpected schema tag";
+        exit 1
+      end)
+    [ cold; warm ];
+  if cold <> warm then begin
+    prerr_endline
+      "validate_bench_smoke: warm sweep output differs from cold sweep";
+    exit 1
+  end;
+  (* the warm run's progress log must show cache hits and no fresh
+     simulation starts *)
+  let contains ~sub s =
+    let n = String.length sub in
+    let rec go i = i + n <= String.length s
+                   && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  if not (contains ~sub:"cached" warm_err) then begin
+    prerr_endline "validate_bench_smoke: warm run reported no cache hits";
+    exit 1
+  end;
+  if contains ~sub:"start " warm_err then begin
+    prerr_endline "validate_bench_smoke: warm run re-simulated a job";
+    exit 1
+  end;
+  print_endline "validate_bench_smoke: ok (warm run fully cached)"
