@@ -71,6 +71,9 @@ let sweep ~jobs ~scale ~out_dir () =
     | P.Gave_up (j, reason) ->
         Printf.eprintf "sweep: %s FAILED: %s\n%!" j.P.sj_app reason
     | P.Cached j -> Printf.eprintf "sweep: %s cached\n%!" j.P.sj_app
+    | P.Cache_damage (j, reason) ->
+        Printf.eprintf "sweep: %s damaged cache entry (%s); recomputing\n%!"
+          j.P.sj_app reason
     | P.Started _ | P.Skipped _ -> ()
   in
   let outcomes = P.run ~workers:jobs ~timeout:1800. ~on_event job_list in

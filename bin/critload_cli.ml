@@ -7,13 +7,34 @@
      simulate <app>              cycle simulation (Figs 2-8 metrics)
      trace <app>                 cycle simulation with event tracing
      sweep                       parallel multi-app sweep, JSON export
-     list                        list the applications *)
+     serve                       long-running sweep daemon (Unix socket)
+     submit                      client of a running serve daemon
+     list                        list the applications
+
+   Exit codes follow the Critload.Exit_code table: 0 ok, 1 check
+   failure, 2 bad usage, 3 simulator error, 4 timeout, 5 server
+   unavailable, 130 interrupted. *)
 
 open Cmdliner
+module EC = Critload.Exit_code
 
 (* Every subcommand carries the package version, so `critload --version`
    and `critload SUBCOMMAND --version` both answer. *)
 let cmd_info name ~doc = Cmd.info name ~doc ~version:Critload.Version.version
+
+(* Unknown application names are usage errors (exit 2), not crashes. *)
+let find_app ~cmd name =
+  match Workloads.Suite.find name with
+  | app -> app
+  | exception Invalid_argument msg ->
+      Printf.eprintf "%s: %s\n" cmd msg;
+      exit EC.usage
+
+let check_app_names ~cmd names =
+  try List.iter (fun a -> ignore (Workloads.Suite.find a)) names
+  with Invalid_argument msg ->
+    Printf.eprintf "%s: %s\n" cmd msg;
+    exit EC.usage
 
 let scale_arg =
   let scale_conv =
@@ -133,22 +154,22 @@ let verify_cmd =
             | k -> [ k ]
             | exception Ptx.Parse.Error msg ->
                 Printf.eprintf "verify: parse error in %s: %s\n" t msg;
-                exit 1
+                exit EC.failure
             | exception Ptx.Kernel.Invalid msg ->
                 Printf.eprintf "verify: invalid kernel in %s: %s\n" t msg;
-                exit 1
+                exit EC.failure
           end
           else
             match app_kernels t with
             | ks -> ks
             | exception Invalid_argument msg ->
                 Printf.eprintf "verify: %s\n" msg;
-                exit 1
+                exit EC.usage
         in
         let errors =
           List.fold_left (fun n k -> n + verify_kernel_report k) 0 kernels
         in
-        if errors > 0 then exit 1
+        if errors > 0 then exit EC.failure
     | None ->
         (* whole-suite functional verification, over the same worker
            pool the sweep uses *)
@@ -185,7 +206,7 @@ let verify_cmd =
            close_out oc;
            Printf.eprintf "verify: wrote %s\n%!" out
          end);
-        if !failures > 0 then exit 1
+        if !failures > 0 then exit EC.failure
   in
   let target =
     Arg.(
@@ -226,7 +247,7 @@ let classify_cmd =
         (Dataflow.Stride.pp_predictions ?block:None) kernel
     end
     else begin
-      let app = Workloads.Suite.find target in
+      let app = find_app ~cmd:"classify" target in
       let run = app.Workloads.App.make Workloads.App.Small in
       let seen = Hashtbl.create 8 in
       let continue_ = ref true in
@@ -271,13 +292,13 @@ let classify_cmd =
 
 let characterize_cmd =
   let run name scale =
-    let app = Workloads.Suite.find name in
+    let app = find_app ~cmd:"characterize" name in
     let r =
       match Critload.Runner.run_func_result ~check:false app scale with
       | Ok r -> r
       | Error e ->
           Printf.eprintf "characterize: %s\n" (Gsim.Sim_error.to_string e);
-          exit 1
+          exit EC.sim_error
     in
     let fs = r.Critload.Runner.fr_fs in
     let open Dataflow.Classify in
@@ -330,7 +351,7 @@ let characterize_cmd =
 
 let dot_cmd =
   let run name which =
-    let app = Workloads.Suite.find name in
+    let app = find_app ~cmd:"dot" name in
     let run = app.Workloads.App.make Workloads.App.Small in
     (match run.Workloads.App.next_launch () with
     | None -> prerr_endline "no launch"
@@ -342,7 +363,9 @@ let dot_cmd =
             let cfg = Ptx.Cfg.build k in
             let r = Dataflow.Reaching.compute k cfg in
             print_string (Dataflow.Depgraph.to_dot (Dataflow.Depgraph.build k r))
-        | other -> Printf.eprintf "unknown graph kind %s (cfg|deps)\n" other));
+        | other ->
+            Printf.eprintf "unknown graph kind %s (cfg|deps)\n" other;
+            exit EC.usage));
     ()
   in
   let which =
@@ -362,7 +385,7 @@ let dot_cmd =
 
 let advise_cmd =
   let run name scale =
-    let app = Workloads.Suite.find name in
+    let app = find_app ~cmd:"advise" name in
     let advice = Critload.Advisor.advise_app app scale in
     Format.printf
       "per-load hardware advice for %s (class x stride x walk):@.%a" name
@@ -382,7 +405,7 @@ let advise_cmd =
 
 let simulate_cmd =
   let run name scale cap no_ff =
-    let app = Workloads.Suite.find name in
+    let app = find_app ~cmd:"simulate" name in
     let cfg =
       Gsim.Config.default |> Gsim.Config.with_caps ~max_warp_insts:cap ()
     in
@@ -393,7 +416,7 @@ let simulate_cmd =
       | Ok r -> r
       | Error e ->
           Printf.eprintf "simulate: %s\n" (Gsim.Sim_error.to_string e);
-          exit 1
+          exit EC.sim_error
     in
     let s = Critload.Runner.Report.stats_exn report in
     let open Dataflow.Classify in
@@ -436,7 +459,7 @@ let simulate_cmd =
 
 let trace_cmd =
   let run name scale cap kernel format out no_ff =
-    let app = Workloads.Suite.find name in
+    let app = find_app ~cmd:"trace" name in
     let cfg =
       Gsim.Config.default |> Gsim.Config.with_caps ~max_warp_insts:cap ()
     in
@@ -455,7 +478,7 @@ let trace_cmd =
       | Ok r -> r
       | Error e ->
           Printf.eprintf "trace: %s\n" (Gsim.Sim_error.to_string e);
-          exit 1
+          exit EC.sim_error
     in
     match format with
     | `Summary ->
@@ -519,15 +542,12 @@ let sweep_cmd =
     in
     (* validate names up front for a clean error instead of spawning a
        pool that fails one job per bad name *)
-    (try List.iter (fun a -> ignore (Workloads.Suite.find a)) apps
-     with Invalid_argument msg ->
-       Printf.eprintf "sweep: %s\n" msg;
-       exit 1);
+    check_app_names ~cmd:"sweep" apps;
     if resume && out = "-" then begin
       Printf.eprintf
         "sweep: --resume needs --out FILE (the checkpoint lives next to \
          it)\n";
-      exit 2
+      exit EC.usage
     end;
     let cfg =
       Gsim.Config.default |> Gsim.Config.with_caps ~max_warp_insts:cap ()
@@ -566,16 +586,38 @@ let sweep_cmd =
           incr finished;
           Printf.eprintf "sweep: [%d/%d] %s cached\n%!" !finished total
             (tag j)
+      | P.Cache_damage (j, reason) ->
+          Printf.eprintf
+            "sweep: warning: damaged cache entry for %s (%s); recomputing\n%!"
+            (tag j) reason
     in
     (* Completed jobs restored from the checkpoint are skipped; failed
        ones get a fresh chance (their failure may have been the crash
        being resumed from). *)
     let ckpt_path = out ^ ".partial" in
     let prefilled =
-      if resume then
-        P.read_checkpoint ckpt_path
-        |> List.filter (fun (_, o) ->
-               match o with P.Completed _ -> true | P.Failed _ -> false)
+      if resume then begin
+        let corrupt = ref 0 in
+        let entries =
+          P.read_checkpoint
+            ~on_corrupt:(fun ~line ~reason ->
+              incr corrupt;
+              Printf.eprintf
+                "sweep: warning: %s:%d: corrupt checkpoint line (%s); \
+                 ignoring\n%!"
+                ckpt_path line reason)
+            ckpt_path
+        in
+        if !corrupt > 0 then
+          Printf.eprintf
+            "sweep: warning: dropped %d corrupt checkpoint line(s); the \
+             affected jobs will rerun\n%!"
+            !corrupt;
+        List.filter
+          (fun (_, o) ->
+            match o with P.Completed _ -> true | P.Failed _ -> false)
+          entries
+      end
       else []
     in
     let ckpt_oc =
@@ -598,6 +640,12 @@ let sweep_cmd =
           flush oc
     in
     Sys.catch_break true;
+    (* SIGTERM gets the same orderly exit as ^C: close the checkpoint,
+       report how to resume, leave no pool workers behind. *)
+    let old_term =
+      try Some (Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> raise Sys.Break)))
+      with Invalid_argument _ | Sys_error _ -> None
+    in
     let cache_dir = if no_cache then None else Some cache_dir in
     let outcomes =
       try
@@ -612,8 +660,9 @@ let sweep_cmd =
              "sweep: interrupted; %d/%d result(s) checkpointed in %s — \
               rerun with --resume to continue\n%!"
              !finished total ckpt_path);
-        exit 130
+        exit EC.interrupted
     in
+    Option.iter (fun h -> Sys.set_signal Sys.sigterm h) old_term;
     Option.iter close_out ckpt_oc;
     let write_doc oc =
       match format with
@@ -637,7 +686,7 @@ let sweep_cmd =
         (try Sys.remove ckpt_path with Sys_error _ -> ());
         Printf.eprintf "sweep: wrote %s\n%!" file);
     if Array.exists (function P.Failed _ -> true | _ -> false) outcomes
-    then exit 1
+    then exit EC.failure
   in
   let apps =
     Arg.(
@@ -729,6 +778,355 @@ let sweep_cmd =
       $ no_warmup $ profile $ out $ resume $ format $ no_cache $ cache_dir
       $ no_fast_forward_arg)
 
+(* ---- serve (long-running sweep daemon) ---- *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string ".critload.sock"
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket path of the sweep daemon.")
+
+let serve_cmd =
+  let module S = Critload.Server in
+  let module Json = Gsim.Stats_io.Json in
+  let run socket workers timeout queue_limit no_cache cache_dir chaos_every
+      quiet =
+    let log =
+      if quiet then None
+      else Some (fun msg -> Printf.eprintf "serve: %s\n%!" msg)
+    in
+    let cfg =
+      {
+        (S.default_config ~socket_path:socket) with
+        S.workers = max 1 workers;
+        job_timeout = timeout;
+        queue_limit;
+        cache_dir = (if no_cache then None else Some cache_dir);
+        chaos =
+          (if chaos_every > 0 then Some { S.kill_every = chaos_every }
+           else None);
+        log;
+      }
+    in
+    match S.run cfg with
+    | Ok health ->
+        (* final tally on stdout so operators can scrape it *)
+        Json.to_channel stdout (Critload.Protocol.health_to_json health);
+        print_newline ()
+    | Error msg ->
+        Printf.eprintf "serve: %s\n" msg;
+        exit EC.unavailable
+  in
+  let workers = jobs_arg () in
+  let timeout =
+    Arg.(
+      value & opt float 600.
+      & info [ "timeout" ] ~docv:"SECS"
+          ~doc:
+            "Per-request wall-clock deadline; an overdue worker is \
+             killed and the client receives a timeout response.")
+  in
+  let queue_limit =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-limit" ] ~docv:"N"
+          ~doc:
+            "Bound on queued (accepted, not yet dispatched) jobs; \
+             submissions beyond it are rejected with a retry-after \
+             hint.")
+  in
+  let no_cache =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ]
+          ~doc:"Serve without the content-addressed result cache.")
+  in
+  let cache_dir =
+    Arg.(
+      value
+      & opt string ".critload-cache"
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:
+            "Directory of the content-addressed result cache shared \
+             with `critload sweep`.")
+  in
+  let chaos_every =
+    Arg.(
+      value & opt int 0
+      & info [ "chaos-kill-every" ] ~docv:"N"
+          ~doc:
+            "Fault injection for testing: each worker kills itself on \
+             every $(docv)-th first-attempt job (0 = off).  Results \
+             are unchanged — crashes are retried.")
+  in
+  let quiet =
+    Arg.(
+      value & flag
+      & info [ "quiet" ] ~doc:"Suppress the event log on stderr.")
+  in
+      Cmd.v
+      (cmd_info "serve"
+       ~doc:
+         "Run the sweep daemon: accept jobs over a Unix-domain socket, \
+          execute them on a supervised worker pool (crash retry, \
+          exponential-backoff restart, per-request deadlines, bounded \
+          queue), and drain gracefully on SIGTERM.")
+    Term.(
+      const run $ socket_arg $ workers $ timeout $ queue_limit $ no_cache
+      $ cache_dir $ chaos_every $ quiet)
+
+(* ---- submit (client of a running daemon) ---- *)
+
+let submit_cmd =
+  let module P = Critload.Parsweep in
+  let module Pr = Critload.Protocol in
+  let module Json = Gsim.Stats_io.Json in
+  let module F = Gsim.Stats_io.Framing in
+  let run socket apps scale cap func no_warmup profile no_ff out format
+      retries wait health_only =
+    let fd =
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      match Unix.connect fd (Unix.ADDR_UNIX socket) with
+      | () -> fd
+      | exception Unix.Unix_error (e, _, _) ->
+          Printf.eprintf "submit: cannot reach a daemon at %s: %s\n" socket
+            (Unix.error_message e);
+          exit EC.unavailable
+    in
+    let send req =
+      let b = Bytes.of_string (F.frame (Pr.request_to_json req)) in
+      let n = Bytes.length b in
+      let off = ref 0 in
+      try
+        while !off < n do
+          off := !off + Unix.write fd b !off (n - !off)
+        done
+      with Unix.Unix_error ((EPIPE | ECONNRESET), _, _) ->
+        Printf.eprintf "submit: daemon closed the connection\n";
+        exit EC.unavailable
+    in
+    let split = F.Splitter.create () in
+    let buf = Bytes.create 65536 in
+    let rec next_line () =
+      match F.Splitter.pop split with
+      | Some l -> l
+      | None -> (
+          let ready, _, _ = Unix.select [ fd ] [] [] wait in
+          if ready = [] then begin
+            Printf.eprintf
+              "submit: no response from the daemon for %.0fs; giving up\n"
+              wait;
+            exit EC.timeout
+          end;
+          match Unix.read fd buf 0 (Bytes.length buf) with
+          | 0 ->
+              Printf.eprintf "submit: daemon closed the connection\n";
+              exit EC.unavailable
+          | n ->
+              F.Splitter.feed split (Bytes.sub_string buf 0 n);
+              next_line ()
+          | exception Unix.Unix_error (ECONNRESET, _, _) ->
+              Printf.eprintf "submit: daemon closed the connection\n";
+              exit EC.unavailable)
+    in
+    let next_response () =
+      let line = next_line () in
+      match Pr.response_of_json (Json.of_string line) with
+      | Ok r -> r
+      | Error msg | (exception Json.Parse_error msg) ->
+          Printf.eprintf "submit: unintelligible response: %s\n" msg;
+          exit EC.failure
+    in
+    if health_only then begin
+      send Pr.Health;
+      match next_response () with
+      | Pr.Health_report h ->
+          Json.to_channel stdout (Pr.health_to_json h);
+          print_newline ()
+      | _ ->
+          Printf.eprintf "submit: unexpected response to the health probe\n";
+          exit EC.failure
+    end
+    else begin
+      let apps =
+        match apps with
+        | [] ->
+            List.map
+              (fun (a : Workloads.App.t) -> a.Workloads.App.name)
+              Workloads.Suite.all
+        | l -> l
+      in
+      check_app_names ~cmd:"submit" apps;
+      let cfg =
+        Gsim.Config.default |> Gsim.Config.with_caps ~max_warp_insts:cap ()
+      in
+      let mode = if func then P.Func else P.Timing in
+      let job_list =
+        P.jobs ~apps ~scales:[ scale ] ~cfgs:[ ("base", cfg) ] ~mode
+          ~warmup:(not no_warmup) ~profile ~fast_forward:(not no_ff) ()
+      in
+      let jobs_a = Array.of_list job_list in
+      let n = Array.length jobs_a in
+      let outcomes = Array.make n None in
+      let rejections = Array.make n 0 in
+      let remaining = ref n in
+      let any_timeout = ref false in
+      let any_failed = ref false in
+      let submit i =
+        send (Pr.Submit { id = string_of_int i; job = jobs_a.(i) })
+      in
+      Array.iteri (fun i _ -> submit i) jobs_a;
+      let settle i o =
+        (* first verdict wins; a duplicate line would be a server bug *)
+        if i >= 0 && i < n && outcomes.(i) = None then begin
+          outcomes.(i) <- Some o;
+          decr remaining
+        end
+      in
+      while !remaining > 0 do
+        match next_response () with
+        | Pr.Result { id; payload } -> (
+            match int_of_string_opt id with
+            | Some i -> settle i (P.Completed payload)
+            | None -> ())
+        | Pr.Job_failed { id; message } -> (
+            any_failed := true;
+            match int_of_string_opt id with
+            | Some i -> settle i (P.Failed message)
+            | None -> ())
+        | Pr.Job_timeout { id; after } -> (
+            any_timeout := true;
+            Printf.eprintf "submit: job %s timed out after %.0fs\n%!" id
+              after;
+            match int_of_string_opt id with
+            | Some i ->
+                settle i
+                  (P.Failed (Printf.sprintf "timeout after %.0fs" after))
+            | None -> ())
+        | Pr.Rejected { id; reason; retry_after } -> (
+            match int_of_string_opt id with
+            | None -> ()
+            | Some i ->
+                rejections.(i) <- rejections.(i) + 1;
+                if rejections.(i) > retries then begin
+                  any_failed := true;
+                  settle i
+                    (P.Failed
+                       (Printf.sprintf "rejected: %s"
+                          (Pr.reject_reason_to_string reason)))
+                end
+                else begin
+                  Unix.sleepf retry_after;
+                  submit i
+                end)
+        | Pr.Error_response { message } ->
+            Printf.eprintf "submit: daemon error: %s\n" message;
+            exit EC.failure
+        | Pr.Health_report _ | Pr.Pong -> ()
+      done;
+      Unix.close fd;
+      let outcomes =
+        Array.map
+          (function Some o -> o | None -> P.Failed "no response")
+          outcomes
+      in
+      (* same document shapes as `critload sweep`, byte for byte *)
+      let write_doc oc =
+        match format with
+        | `Json ->
+            Json.to_channel oc (P.sweep_to_json ~jobs:job_list ~outcomes);
+            output_char oc '\n'
+        | `Jsonl ->
+            List.iteri
+              (fun i j ->
+                Json.to_channel oc (P.job_envelope j outcomes.(i));
+                output_char oc '\n')
+              job_list
+      in
+      (match out with
+      | "-" -> write_doc stdout
+      | file ->
+          let oc = open_out file in
+          write_doc oc;
+          close_out oc;
+          Printf.eprintf "submit: wrote %s\n%!" file);
+      if !any_timeout then exit EC.timeout
+      else if !any_failed then exit EC.failure
+    end
+  in
+  let apps =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "apps" ] ~docv:"APPS"
+          ~doc:"Comma-separated application names (default: all 15).")
+  in
+  let func =
+    Arg.(
+      value & flag
+      & info [ "func" ]
+          ~doc:"Submit functional-simulation jobs instead of timing.")
+  in
+  let no_warmup =
+    Arg.(
+      value & flag
+      & info [ "no-warmup" ]
+          ~doc:"Skip the functional fast-forward (timing mode).")
+  in
+  let profile =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:"Attach the event-trace Profile reducer to timing jobs.")
+  in
+  let out =
+    out_arg ~doc:"Output file for the JSON document ('-' for stdout)." ()
+  in
+  let format =
+    format_arg
+      ~alts:[ ("json", `Json); ("jsonl", `Jsonl) ]
+      ~default:`Json
+      ~doc:
+        "Output encoding: $(b,json) (one whole-sweep document, \
+         identical to `critload sweep`'s) or $(b,jsonl) (one result \
+         envelope per line)."
+  in
+  let retries =
+    Arg.(
+      value & opt int 25
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "How many backpressure rejections to absorb per job \
+             (sleeping the server's retry-after hint between attempts) \
+             before reporting it failed.")
+  in
+  let wait =
+    Arg.(
+      value & opt float 600.
+      & info [ "wait" ] ~docv:"SECS"
+          ~doc:
+            "Give up (exit 4) if the daemon sends nothing at all for \
+             $(docv) seconds.")
+  in
+  let health_only =
+    Arg.(
+      value & flag
+      & info [ "health" ]
+          ~doc:
+            "Do not submit jobs; print the daemon's health counters as \
+             JSON and exit.")
+  in
+      Cmd.v
+      (cmd_info "submit"
+       ~doc:
+         "Submit sweep jobs to a running `critload serve` daemon and \
+          write the same JSON document `critload sweep` would.")
+    Term.(
+      const run $ socket_arg $ apps $ scale_arg $ cap_arg $ func
+      $ no_warmup $ profile $ no_fast_forward_arg $ out $ format $ retries
+      $ wait $ health_only)
+
 let () =
   let doc =
     "critical-load classification and GPU memory-system characterization"
@@ -737,4 +1135,5 @@ let () =
     (Cmd.eval
        (Cmd.group (cmd_info "critload" ~doc)
           [ list_cmd; verify_cmd; classify_cmd; characterize_cmd;
-            advise_cmd; dot_cmd; simulate_cmd; trace_cmd; sweep_cmd ]))
+            advise_cmd; dot_cmd; simulate_cmd; trace_cmd; sweep_cmd;
+            serve_cmd; submit_cmd ]))

@@ -1,0 +1,9 @@
+(* Standardized CLI exit codes; see the interface for the table. *)
+
+let ok = 0
+let failure = 1
+let usage = 2
+let sim_error = 3
+let timeout = 4
+let unavailable = 5
+let interrupted = 130

@@ -148,19 +148,6 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let cache_lookup ~dir j =
-  match job_digest j with
-  | exception _ -> None (* unknown app: let the execution path report it *)
-  | digest -> (
-      let path = cache_path ~dir digest in
-      match Json.of_string (read_file path) with
-      | v
-        when Json.member "schema" v = Json.Str cache_schema
-             && Json.member "sim_tag" v = Json.Str Version.sim_tag -> (
-          match Json.member "result" v with Json.Null -> None | r -> Some r)
-      | _ -> None
-      | exception _ -> None)
-
 let cache_store ~dir j payload =
   try
     let digest = job_digest j in
@@ -297,6 +284,66 @@ let timing_summary_of_json v =
       | p -> Some (Gsim.Profile.of_json p));
   }
 
+(* ---- cache probing ----
+
+   (Below the summary codecs because a probe validates the stored
+   payload against them.)  A hit must survive the full gauntlet before
+   it is served: the entry parses, names this digest, carries the
+   current simulator tag, and its payload decodes as a summary of the
+   job's mode.  A legitimately stale entry (another schema revision or
+   simulator tag) is a plain miss; an entry that exists but fails a
+   structural check is [Cache_damaged] — still served as a miss, but
+   counted and surfaced so torn or bit-rotted stores are visible
+   instead of silently re-simulating forever. *)
+
+type cache_probe = Cache_hit of Json.t | Cache_miss | Cache_damaged of string
+
+let cache_probe ~dir j =
+  match job_digest j with
+  | exception _ -> Cache_miss (* unknown app: let execution report it *)
+  | digest -> (
+      let path = cache_path ~dir digest in
+      if not (Sys.file_exists path) then Cache_miss
+      else
+        let damaged fmt = Printf.ksprintf (fun m -> Cache_damaged m) fmt in
+        match Json.of_string (read_file path) with
+        | exception Json.Parse_error e -> damaged "%s: unparseable (%s)" path e
+        | exception _ -> damaged "%s: unreadable" path
+        | v -> (
+            match (Json.member "schema" v, Json.member "sim_tag" v) with
+            | Json.Str s, _ when s <> cache_schema -> Cache_miss
+            | _, Json.Str t when t <> Version.sim_tag -> Cache_miss
+            | Json.Str _, Json.Str _ -> (
+                match Json.member "digest" v with
+                | Json.Str d when d <> digest ->
+                    damaged "%s: digest mismatch (entry says %s)" path d
+                | Json.Str _ -> (
+                    match Json.member "result" v with
+                    | Json.Null -> damaged "%s: missing result payload" path
+                    | r ->
+                        let decodes =
+                          match j.sj_mode with
+                          | Timing -> (
+                              match timing_summary_of_json r with
+                              | _ -> true
+                              | exception _ -> false)
+                          | Func -> (
+                              match func_summary_of_json r with
+                              | _ -> true
+                              | exception _ -> false)
+                        in
+                        if decodes then Cache_hit r
+                        else
+                          damaged "%s: result does not decode as a %s summary"
+                            path (string_of_mode j.sj_mode))
+                | _ -> damaged "%s: missing digest field" path)
+            | _ -> damaged "%s: missing schema or sim_tag field" path))
+
+let cache_lookup ~dir j =
+  match cache_probe ~dir j with
+  | Cache_hit r -> Some r
+  | Cache_miss | Cache_damaged _ -> None
+
 (* ---- worker body ---- *)
 
 let exec_job j =
@@ -331,6 +378,7 @@ type event =
   | Gave_up of job * string
   | Skipped of job
   | Cached of job
+  | Cache_damage of job * string
 
 (* Raised by a [chaos] hook to make the worker ship deliberately
    corrupted bytes instead of a result envelope — exercises the
@@ -423,7 +471,15 @@ let run ?(workers = 1) ?(timeout = 600.)
              still reaches the checkpoint writer *)
           match
             match cache_dir with
-            | Some dir -> cache_lookup ~dir j
+            | Some dir -> (
+                match cache_probe ~dir j with
+                | Cache_hit payload -> Some payload
+                | Cache_miss -> None
+                | Cache_damaged reason ->
+                    (* a torn or corrupt entry costs one re-simulation,
+                       never a crash — but the caller hears about it *)
+                    on_event (Cache_damage (j, reason));
+                    None)
             | None -> None
           with
           | Some payload ->
@@ -595,6 +651,7 @@ let sweep_to_json ~jobs ~outcomes =
 
 let outcome_of_envelope v =
   match Json.member "status" v with
+  | exception Json.Parse_error _ -> None (* not an object at all *)
   | Json.Str "ok" -> Some (Completed (Json.member "result" v))
   | Json.Str "failed" ->
       let msg =
@@ -608,14 +665,16 @@ let checkpoint_line j outcome =
     (Json.Obj
        [ ("key", Json.Str (job_key j)); ("envelope", job_envelope j outcome) ])
 
-let read_checkpoint path =
+let read_checkpoint ?(on_corrupt = fun ~line:_ ~reason:_ -> ()) path =
   if not (Sys.file_exists path) then []
   else begin
     let ic = open_in path in
     let acc = ref [] in
+    let lineno = ref 0 in
     (try
        while true do
          let line = input_line ic in
+         incr lineno;
          if String.trim line <> "" then
            match Json.of_string line with
            | v -> (
@@ -624,10 +683,14 @@ let read_checkpoint path =
                    outcome_of_envelope (Json.member "envelope" v) )
                with
                | Json.Str k, Some o -> acc := (k, o) :: !acc
-               | _ -> ())
+               | _ ->
+                   on_corrupt ~line:!lineno
+                     ~reason:"well-formed JSON but not a checkpoint record")
            (* a line cut short by the crash that made the checkpoint
-              matter: drop it, the job simply re-runs *)
-           | exception Json.Parse_error _ -> ()
+              matter: drop it (the job simply re-runs) — but report it,
+              so an unexpectedly mangled checkpoint is visible *)
+           | exception Json.Parse_error e ->
+               on_corrupt ~line:!lineno ~reason:e
        done
      with End_of_file -> ());
     close_in ic;

@@ -82,10 +82,27 @@ val job_digest : job -> string
 (** Hex digest addressing a job's cache entry.
     @raise Not_found when [sj_app] names no known application. *)
 
+(** Verdict of probing the store for one job: a {!Cache_hit} passed
+    every structural check (entry parses, names the job's digest,
+    carries the current {!Version.sim_tag}, and its payload decodes as
+    a summary of the job's mode); a legitimately stale entry (another
+    schema or simulator revision) is {!Cache_miss}; an entry that
+    exists but fails a check — a torn write, truncation, bit rot — is
+    {!Cache_damaged} with a reason.  Damage is served exactly like a
+    miss, but callers can count and surface it. *)
+type cache_probe =
+  | Cache_hit of Gsim.Stats_io.Json.t
+  | Cache_miss
+  | Cache_damaged of string
+
+val cache_probe : dir:string -> job -> cache_probe
+(** Probe [dir] for the job's entry; never raises. *)
+
 val cache_lookup : dir:string -> job -> Gsim.Stats_io.Json.t option
 (** The cached result payload for a job, if [dir] holds a well-formed
     entry under the job's digest with the current {!Version.sim_tag}.
-    Unreadable, torn, or mismatched entries are misses, never errors. *)
+    Unreadable, torn, or mismatched entries are misses, never errors
+    ({!cache_probe} with the damage verdict collapsed into [None]). *)
 
 val cache_store : dir:string -> job -> Gsim.Stats_io.Json.t -> unit
 (** Write a job's result payload under its digest (creating [dir] if
@@ -147,6 +164,9 @@ type event =
   | Gave_up of job * string
   | Skipped of job  (** restored from a checkpoint, not re-run *)
   | Cached of job  (** served from the content cache, not re-run *)
+  | Cache_damage of job * string
+      (** the store held a torn or corrupt entry for this job; it was
+          treated as a miss and the job re-simulates *)
 
 exception Garble
 (** A [chaos] hook may raise this to make its worker ship deliberately
@@ -223,8 +243,14 @@ val outcome_of_envelope : Gsim.Stats_io.Json.t -> outcome option
 (** Recover an outcome from a {!job_envelope}; [None] if the status
     field is unrecognized. *)
 
-val read_checkpoint : string -> (string * outcome) list
+val read_checkpoint :
+  ?on_corrupt:(line:int -> reason:string -> unit) ->
+  string ->
+  (string * outcome) list
 (** Parse a checkpoint file into [(job_key, outcome)] pairs, in file
-    order.  Missing file → [[]]; a final line cut short by the crash
-    that made the checkpoint matter is silently dropped (that job
-    simply re-runs). *)
+    order.  Missing file → [[]]; a line that does not decode as a
+    checkpoint record — typically the final line cut short by the
+    crash that made the checkpoint matter — is dropped (that job
+    simply re-runs) and reported through [on_corrupt] with its
+    1-based line number, so callers can count the damage instead of
+    resuming in silence. *)

@@ -285,6 +285,62 @@ module Json = struct
   let str_field key v = get_str (member key v)
 end
 
+(* ---- JSONL framing ----
+
+   One compact JSON value per '\n'-terminated line: the framing shared
+   by sweep checkpoints, the trace JSONL sink, and the serve daemon's
+   socket protocol.  Channel helpers cover blocking endpoints (the
+   submit client, worker loops); [Splitter] covers multiplexed
+   nonblocking endpoints (the server's select loop), which receive
+   arbitrary byte chunks and must recover message boundaries
+   themselves. *)
+
+module Framing = struct
+  let frame v = Json.to_string v ^ "\n"
+
+  let output oc v =
+    Json.to_channel oc v;
+    output_char oc '\n'
+
+  let rec input ic =
+    match input_line ic with
+    | exception End_of_file -> None
+    | line -> if String.trim line = "" then input ic else Some (Json.of_string line)
+
+  module Splitter = struct
+    (* A byte accumulator that yields complete lines as they form.
+       Carried bytes are compacted lazily: [start] advances as lines
+       are popped and the buffer is rebuilt only when a feed arrives
+       with consumed prefix pending, so steady-state feed/pop cycles
+       do one copy per chunk. *)
+    type t = { mutable buf : string; mutable start : int }
+
+    let create () = { buf = ""; start = 0 }
+
+    let feed t chunk =
+      if String.length chunk > 0 then
+        if t.start >= String.length t.buf then begin
+          t.buf <- chunk;
+          t.start <- 0
+        end
+        else begin
+          t.buf <-
+            String.sub t.buf t.start (String.length t.buf - t.start) ^ chunk;
+          t.start <- 0
+        end
+
+    let pop t =
+      match String.index_from_opt t.buf t.start '\n' with
+      | None -> None
+      | Some nl ->
+          let line = String.sub t.buf t.start (nl - t.start) in
+          t.start <- nl + 1;
+          Some line
+
+    let pending t = String.length t.buf - t.start
+  end
+end
+
 open Json
 
 (* ---- load class ---- *)

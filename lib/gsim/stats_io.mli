@@ -48,6 +48,42 @@ module Json : sig
   val str_field : string -> t -> string
 end
 
+(** {1 JSONL framing}
+
+    One compact JSON value per newline-terminated line — the framing
+    shared by sweep checkpoints, the trace JSONL sink, and the serve
+    daemon's socket protocol. *)
+
+module Framing : sig
+  val frame : Json.t -> string
+  (** Compact rendering plus the terminating ['\n']. *)
+
+  val output : out_channel -> Json.t -> unit
+  (** [frame] written to a channel (not flushed). *)
+
+  val input : in_channel -> Json.t option
+  (** Next non-blank line parsed as JSON; [None] at end of input.
+      @raise Json.Parse_error on a malformed line. *)
+
+  (** Incremental line splitter for multiplexed nonblocking streams: a
+      select loop feeds whatever byte chunks arrive and pops complete
+      lines as they form, without blocking on a partial tail. *)
+  module Splitter : sig
+    type t
+
+    val create : unit -> t
+
+    val feed : t -> string -> unit
+    (** Append a received chunk (message boundaries need not align). *)
+
+    val pop : t -> string option
+    (** Next complete line (without its newline), if one has formed. *)
+
+    val pending : t -> int
+    (** Bytes buffered beyond the last complete line. *)
+  end
+end
+
 (** {1 Timing statistics} *)
 
 val stats_to_json : Stats.t -> Json.t

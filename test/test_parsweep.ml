@@ -142,13 +142,22 @@ let test_abort_resume_byte_identical () =
   (* the write the crash interrupted *)
   output_string oc "{\"key\": \"half-a-rec";
   close_out oc;
+  let corrupt = ref [] in
   let prefilled =
-    P.read_checkpoint ckpt
+    P.read_checkpoint
+      ~on_corrupt:(fun ~line ~reason -> corrupt := (line, reason) :: !corrupt)
+      ckpt
     |> List.filter (fun (_, o) ->
            match o with P.Completed _ -> true | P.Failed _ -> false)
   in
   Alcotest.(check int) "checkpoint holds exactly the settled jobs" settled
     (List.length prefilled);
+  (* exactly the torn trailing line is reported, at its line number *)
+  (match !corrupt with
+  | [ (line, _) ] ->
+      Alcotest.(check int) "torn line reported at the right line number"
+        (settled + 1) line
+  | l -> Alcotest.failf "expected 1 corrupt line, got %d" (List.length l));
   let skipped = ref 0 in
   let on_event = function P.Skipped _ -> incr skipped | _ -> () in
   let resumed = P.run ~workers:2 ~timeout:300. ~prefilled ~on_event jobs in
@@ -158,6 +167,35 @@ let test_abort_resume_byte_identical () =
     "resumed document byte-identical to an uninterrupted jobs-1 run"
     (Json.to_string (P.sweep_to_json ~jobs ~outcomes:clean))
     (Json.to_string (P.sweep_to_json ~jobs ~outcomes:resumed));
+  Sys.remove ckpt
+
+(* corrupt checkpoint lines are classified and reported line by line:
+   unparseable JSON and well-formed-but-wrong-shape records are both
+   dropped with a callback; blank lines are not corruption *)
+let test_checkpoint_corrupt_lines () =
+  let j = P.job ~cfg "2mm" in
+  let ckpt = Filename.temp_file "critload-ckpt" ".partial" in
+  let oc = open_out ckpt in
+  output_string oc (P.checkpoint_line j (P.Failed "boom"));
+  output_string oc "\n\n";
+  output_string oc "{\"not\": \"a checkpoint record\"}\n";
+  output_string oc "garbage that is not JSON\n";
+  output_string oc (P.checkpoint_line j (P.Failed "boom2"));
+  output_char oc '\n';
+  close_out oc;
+  let corrupt = ref [] in
+  let entries =
+    P.read_checkpoint
+      ~on_corrupt:(fun ~line ~reason -> corrupt := (line, reason) :: !corrupt)
+      ckpt
+  in
+  Alcotest.(check int) "both valid records survive" 2 (List.length entries);
+  Alcotest.(check (list int)) "corrupt lines reported with line numbers"
+    [ 3; 4 ]
+    (List.rev_map fst !corrupt);
+  (* silent by default: omitting the callback still parses *)
+  Alcotest.(check int) "default reader drops them silently" 2
+    (List.length (P.read_checkpoint ckpt));
   Sys.remove ckpt
 
 (* an in-job exception is a deterministic failure: reported, not
@@ -222,6 +260,8 @@ let () =
             test_garbled_worker_retried;
           Alcotest.test_case "abort + resume byte-identical" `Quick
             test_abort_resume_byte_identical;
+          Alcotest.test_case "corrupt checkpoint lines reported" `Quick
+            test_checkpoint_corrupt_lines;
           Alcotest.test_case "deterministic failure not retried" `Quick
             test_deterministic_failure_not_retried;
           Alcotest.test_case "func mode round-trip" `Quick

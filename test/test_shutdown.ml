@@ -1,0 +1,211 @@
+(* Interrupting the real CLI binary: `critload sweep` stopped by
+   SIGTERM or SIGINT must exit 130, leave a resumable checkpoint and
+   no orphaned pool workers; resuming must rebuild the uninterrupted
+   document byte-for-byte.  `critload serve` stopped by SIGTERM must
+   drain, remove its socket, exit 0, and leave no workers behind.
+
+   Children run via fork+exec as session leaders, so "no orphans"
+   is checked the same way as in test_server: after the child exits,
+   its process group must be empty. *)
+
+module P = Critload.Parsweep
+module Pr = Critload.Protocol
+module Json = Gsim.Stats_io.Json
+module F = Gsim.Stats_io.Framing
+
+let cli = "../bin/critload_cli.exe"
+
+let fresh_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "critload-shutdown-test-%d-%d" (Unix.getpid ()) !n)
+    in
+    (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    d
+
+let rm_rf dir =
+  match Sys.readdir dir with
+  | files ->
+      Array.iter (fun f -> try Sys.remove (Filename.concat dir f) with _ -> ())
+        files;
+      (try Unix.rmdir dir with _ -> ())
+  | exception Sys_error _ -> ()
+
+(* fork+exec the CLI as a session leader, stdout/stderr to [log] *)
+let spawn ?(log = "/dev/null") argv =
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+      (try ignore (Unix.setsid ()) with Unix.Unix_error _ -> ());
+      let fd = Unix.openfile log [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+      Unix.dup2 fd Unix.stdout;
+      Unix.dup2 fd Unix.stderr;
+      Unix.close fd;
+      (try Unix.execv cli argv with _ -> ());
+      Unix._exit 127
+  | pid -> pid
+
+let wait_exit pid =
+  let _, status = Unix.waitpid [] pid in
+  match status with
+  | Unix.WEXITED c -> c
+  | Unix.WSIGNALED s -> Alcotest.failf "child killed by signal %d" s
+  | Unix.WSTOPPED _ -> Alcotest.fail "child stopped"
+
+let assert_no_orphans pid =
+  match Unix.kill (-pid) 0 with
+  | () -> Alcotest.fail "processes left behind in the child's group"
+  | exception Unix.Unix_error (Unix.ESRCH, _, _) -> ()
+
+let read_file path =
+  let ic = open_in path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let wait_for ?(timeout = 60.) what pred =
+  let deadline = Unix.gettimeofday () +. timeout in
+  while not (pred ()) do
+    if Unix.gettimeofday () > deadline then
+      Alcotest.failf "timed out waiting for %s" what;
+    Unix.sleepf 0.01
+  done
+
+(* ---- sweep: interrupt, checkpoint, resume ---- *)
+
+let sweep_args ~out extra =
+  Array.of_list
+    ([ cli; "sweep"; "--apps"; "2mm,gaus,lu,grm"; "--scale"; "small";
+       "--cap"; "40000"; "--no-warmup"; "--no-cache"; "--jobs"; "1";
+       "--out"; out ]
+    @ extra)
+
+let test_sweep_interrupt signal () =
+  let dir = fresh_dir () in
+  let out = Filename.concat dir "doc.json" in
+  let ckpt = out ^ ".partial" in
+  let log = Filename.concat dir "sweep.log" in
+  let pid = spawn ~log (sweep_args ~out []) in
+  (* interrupt once the first result is checkpointed, mid-sweep *)
+  wait_for "the first checkpoint line" (fun () ->
+      Sys.file_exists ckpt
+      && (try String.index_opt (read_file ckpt) '\n' <> None
+          with Sys_error _ -> false));
+  Unix.kill pid signal;
+  Alcotest.(check int) "interrupted sweep exits 130" 130 (wait_exit pid);
+  assert_no_orphans pid;
+  Alcotest.(check bool) "no final document yet" false (Sys.file_exists out);
+  let settled = P.read_checkpoint ckpt in
+  Alcotest.(check bool)
+    (Printf.sprintf "checkpoint is parseable and partial (%d entries)"
+       (List.length settled))
+    true
+    (List.length settled >= 1 && List.length settled < 4);
+  (* resume to completion *)
+  let rpid = spawn ~log:(log ^ ".resume") (sweep_args ~out [ "--resume" ]) in
+  Alcotest.(check int) "resumed sweep exits 0" 0 (wait_exit rpid);
+  Alcotest.(check bool) "checkpoint superseded by the document" false
+    (Sys.file_exists ckpt);
+  (* byte-identical to a never-interrupted run *)
+  let out2 = Filename.concat dir "clean.json" in
+  let cpid = spawn ~log:(log ^ ".clean") (sweep_args ~out:out2 []) in
+  Alcotest.(check int) "clean sweep exits 0" 0 (wait_exit cpid);
+  Alcotest.(check string) "resumed document byte-identical to clean run"
+    (read_file out2) (read_file out);
+  rm_rf dir
+
+(* ---- serve: SIGTERM drains and leaves nothing behind ---- *)
+
+let test_serve_sigterm () =
+  let dir = fresh_dir () in
+  let socket = Filename.concat dir "daemon.sock" in
+  let log = Filename.concat dir "serve.log" in
+  let pid =
+    spawn ~log
+      [| cli; "serve"; "--socket"; socket; "--jobs"; "2"; "--no-cache";
+         "--quiet" |]
+  in
+  wait_for "the daemon's socket" (fun () -> Sys.file_exists socket);
+  (* one in-flight job when the signal lands *)
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX socket);
+  let job =
+    P.job
+      ~cfg:(Gsim.Config.default |> Gsim.Config.with_caps ~max_warp_insts:80_000 ())
+      ~warmup:false "2mm"
+  in
+  let req =
+    F.frame (Pr.request_to_json (Pr.Submit { id = "drain-me"; job }))
+  in
+  let b = Bytes.of_string req in
+  ignore (Unix.write fd b 0 (Bytes.length b));
+  Unix.sleepf 0.15;
+  Unix.kill pid Sys.sigterm;
+  (* the drained job's result still arrives *)
+  let split = F.Splitter.create () in
+  let buf = Bytes.create 65536 in
+  let deadline = Unix.gettimeofday () +. 60. in
+  let rec next_line () =
+    match F.Splitter.pop split with
+    | Some l -> l
+    | None ->
+        let left = deadline -. Unix.gettimeofday () in
+        if left <= 0. then Alcotest.fail "no response before the drain ended";
+        (match Unix.select [ fd ] [] [] left with
+        | [], _, _ -> Alcotest.fail "no response before the drain ended"
+        | _ -> (
+            match Unix.read fd buf 0 (Bytes.length buf) with
+            | 0 -> Alcotest.fail "daemon closed before answering"
+            | n -> F.Splitter.feed split (Bytes.sub_string buf 0 n)));
+        next_line ()
+  in
+  (match Pr.response_of_json (Json.of_string (next_line ())) with
+  | Ok (Pr.Result { id = "drain-me"; payload }) ->
+      Alcotest.(check string) "drained result byte-identical"
+        (Json.to_string (P.exec_job job))
+        (Json.to_string payload)
+  | Ok r ->
+      Alcotest.failf "unexpected response: %s"
+        (Json.to_string (Pr.response_to_json r))
+  | Error e -> Alcotest.failf "bad response: %s" e);
+  Unix.close fd;
+  Alcotest.(check int) "daemon exits 0 after draining" 0 (wait_exit pid);
+  Alcotest.(check bool) "socket file removed" false (Sys.file_exists socket);
+  assert_no_orphans pid;
+  rm_rf dir
+
+(* ---- exit codes for usage errors, through the real binary ---- *)
+
+let test_usage_exit_codes () =
+  let run argv =
+    let pid = spawn (Array.of_list (cli :: argv)) in
+    wait_exit pid
+  in
+  Alcotest.(check int) "unknown app is exit 2 (simulate)" 2
+    (run [ "simulate"; "no-such-app" ]);
+  Alcotest.(check int) "unknown app is exit 2 (sweep)" 2
+    (run [ "sweep"; "--apps"; "no-such-app"; "--out"; "-" ]);
+  Alcotest.(check int) "resume without --out FILE is exit 2" 2
+    (run [ "sweep"; "--resume"; "--out"; "-" ]);
+  Alcotest.(check int) "submit with no daemon is exit 5" 5
+    (run [ "submit"; "--socket"; "/nonexistent/nowhere.sock"; "--health" ])
+
+let () =
+  Alcotest.run "shutdown"
+    [
+      ( "sweep",
+        [
+          Alcotest.test_case "SIGTERM checkpoint + resume" `Slow
+            (test_sweep_interrupt Sys.sigterm);
+          Alcotest.test_case "SIGINT checkpoint + resume" `Slow
+            (test_sweep_interrupt Sys.sigint);
+        ] );
+      ("serve", [ Alcotest.test_case "SIGTERM drains" `Slow test_serve_sigterm ]);
+      ( "exit-codes",
+        [ Alcotest.test_case "usage errors" `Quick test_usage_exit_codes ] );
+    ]

@@ -109,7 +109,7 @@ let test_store_lookup_roundtrip () =
   let j = P.job ~cfg ~warmup:false "2mm" in
   Alcotest.(check bool) "empty cache misses" true
     (P.cache_lookup ~dir j = None);
-  let payload = Json.Obj [ ("x", Json.Int 42) ] in
+  let payload = P.exec_job j in
   P.cache_store ~dir j payload;
   (match P.cache_lookup ~dir j with
   | Some v ->
@@ -125,13 +125,85 @@ let test_store_lookup_roundtrip () =
     (P.cache_lookup ~dir j = None);
   rm_rf dir
 
+(* ---- probe verdicts: hit vs stale-miss vs damaged ---- *)
+
+let test_probe_verdicts () =
+  let dir = fresh_dir () in
+  let j = P.job ~cfg ~warmup:false "2mm" in
+  let entry = Filename.concat dir (P.job_digest j ^ ".json") in
+  let write s =
+    let oc = open_out entry in
+    output_string oc s;
+    close_out oc
+  in
+  let damaged what =
+    match P.cache_probe ~dir j with
+    | P.Cache_damaged _ -> ()
+    | P.Cache_hit _ -> Alcotest.failf "%s served as a hit" what
+    | P.Cache_miss -> Alcotest.failf "%s counted as a plain miss" what
+  in
+  Alcotest.(check bool) "absent entry probes as a miss" true
+    (P.cache_probe ~dir j = P.Cache_miss);
+  let payload = P.exec_job j in
+  P.cache_store ~dir j payload;
+  let good =
+    let ic = open_in entry in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  (match P.cache_probe ~dir j with
+  | P.Cache_hit v ->
+      Alcotest.(check string) "intact entry serves the stored payload"
+        (Json.to_string payload) (Json.to_string v)
+  | _ -> Alcotest.fail "intact entry did not probe as a hit");
+  (* torn write: a prefix of the real entry is damage, not a miss *)
+  write (String.sub good 0 (String.length good / 2));
+  damaged "torn entry";
+  (* valid JSON whose digest names a different job: damage (the store
+     is content-addressed; a digest mismatch means the file is lying) *)
+  let other = P.job ~cfg ~warmup:false "gaus" in
+  write
+    (Json.to_string
+       (Json.Obj
+          [ ("schema", Json.member "schema" (Json.of_string good));
+            ("sim_tag", Json.Str Critload.Version.sim_tag);
+            ("digest", Json.Str (P.job_digest other));
+            ("result", payload) ]));
+  damaged "digest-mismatched entry";
+  (* result payload that does not decode as this mode's summary *)
+  write
+    (Json.to_string
+       (Json.Obj
+          [ ("schema", Json.member "schema" (Json.of_string good));
+            ("sim_tag", Json.Str Critload.Version.sim_tag);
+            ("digest", Json.Str (P.job_digest j));
+            ("result", Json.Obj [ ("x", Json.Int 42) ]) ]));
+  damaged "undecodable result";
+  (* a different simulator version is staleness, not damage *)
+  write
+    (Json.to_string
+       (Json.Obj
+          [ ("schema", Json.member "schema" (Json.of_string good));
+            ("sim_tag", Json.Str "someone-else");
+            ("digest", Json.Str (P.job_digest j));
+            ("result", payload) ]));
+  Alcotest.(check bool) "foreign sim_tag probes as a stale miss" true
+    (P.cache_probe ~dir j = P.Cache_miss);
+  (* re-storing repairs the entry *)
+  P.cache_store ~dir j payload;
+  Alcotest.(check bool) "re-stored entry hits again" true
+    (P.cache_lookup ~dir j <> None);
+  rm_rf dir
+
 (* ---- cold vs warm sweep ---- *)
 
-let run_counting ~cache_dir jobs =
+let run_counting ?(damaged = ref 0) ~cache_dir jobs =
   let started = ref 0 and cached = ref 0 in
   let on_event = function
     | P.Started _ -> incr started
     | P.Cached _ -> incr cached
+    | P.Cache_damage _ -> incr damaged
     | _ -> ()
   in
   let outcomes = P.run ~workers:2 ~timeout:300. ~on_event ?cache_dir jobs in
@@ -174,6 +246,30 @@ let test_cold_warm_identical () =
   let _, started', cached' = run_counting ~cache_dir:(Some dir) jobs' in
   Alcotest.(check int) "changed config re-simulates" 1 started';
   Alcotest.(check int) "changed config hits nothing" 0 cached';
+  (* truncate one entry mid-file: the sweep reports the damage, re-runs
+     exactly that job, and still produces the identical document *)
+  let entry =
+    Filename.concat dir (P.job_digest (List.hd jobs) ^ ".json")
+  in
+  let whole =
+    let ic = open_in entry in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  let oc = open_out entry in
+  output_string oc (String.sub whole 0 (String.length whole / 3));
+  close_out oc;
+  let damaged = ref 0 in
+  let repaired, started_r, cached_r =
+    run_counting ~damaged ~cache_dir:(Some dir) jobs
+  in
+  Alcotest.(check int) "damaged entry is reported once" 1 !damaged;
+  Alcotest.(check int) "only the damaged job re-simulates" 1 started_r;
+  Alcotest.(check int) "the intact entry still hits" 1 cached_r;
+  Alcotest.(check string) "document unchanged after repair"
+    (Json.to_string (P.sweep_to_json ~jobs ~outcomes:cold))
+    (Json.to_string (P.sweep_to_json ~jobs ~outcomes:repaired));
   rm_rf dir
 
 let () =
@@ -186,8 +282,10 @@ let () =
           Alcotest.test_case "kernel-text" `Quick test_kernel_text_sensitivity;
         ] );
       ( "store",
-        [ Alcotest.test_case "roundtrip" `Quick test_store_lookup_roundtrip ]
-      );
+        [
+          Alcotest.test_case "roundtrip" `Quick test_store_lookup_roundtrip;
+          Alcotest.test_case "probe-verdicts" `Quick test_probe_verdicts;
+        ] );
       ( "sweep",
         [ Alcotest.test_case "cold-warm" `Slow test_cold_warm_identical ] );
     ]

@@ -1,0 +1,137 @@
+(* Soak smoke (`dune build @soak-smoke`): a short concurrent client
+   mix with fault injection, entirely through the real CLI binary.
+
+   One `critload serve` daemon runs with --chaos-kill-every 2 (every
+   worker SIGKILLs itself on every 2nd first-attempt job) and a cache
+   directory this driver deliberately corrupts between rounds.
+   Concurrent `critload submit` clients must each produce a document
+   byte-identical to a `critload sweep` baseline; the daemon must
+   answer a health probe afterwards and drain cleanly on SIGTERM.
+
+   Usage: validate_soak CRITLOAD_CLI *)
+
+let die fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
+
+let cli =
+  if Array.length Sys.argv < 2 then die "usage: validate_soak CRITLOAD_CLI"
+  else Sys.argv.(1)
+
+let job_args =
+  [ "--apps"; "2mm,gaus"; "--scale"; "small"; "--cap"; "5000"; "--no-warmup" ]
+
+let spawn ?(log = "/dev/null") args =
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+      let fd =
+        Unix.openfile log [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+      in
+      Unix.dup2 fd Unix.stdout;
+      Unix.dup2 fd Unix.stderr;
+      Unix.close fd;
+      (try Unix.execv cli (Array.of_list (cli :: args)) with _ -> ());
+      exit 127
+  | pid -> pid
+
+let wait_code pid =
+  match Unix.waitpid [] pid with
+  | _, Unix.WEXITED c -> c
+  | _, Unix.WSIGNALED s -> die "child killed by signal %d" s
+  | _ -> die "child stopped"
+
+let read_file path =
+  let ic = open_in path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let () =
+  let dir = "soak-smoke.tmp" in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let path f = Filename.concat dir f in
+  let socket = path "daemon.sock" in
+  let cache = path "cache" in
+  (try Unix.mkdir cache 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  (* serial baseline through the ordinary sweep path *)
+  let baseline = path "baseline.json" in
+  let c =
+    wait_code
+      (spawn ~log:(path "baseline.log")
+         ([ "sweep"; "--jobs"; "2"; "--no-cache"; "--out"; baseline ]
+         @ job_args))
+  in
+  if c <> 0 then die "validate_soak: baseline sweep failed with code %d" c;
+  let expect = read_file baseline in
+  (* the daemon under fault injection *)
+  let daemon =
+    spawn ~log:(path "serve.log")
+      [ "serve"; "--socket"; socket; "--jobs"; "2"; "--cache-dir"; cache;
+        "--chaos-kill-every"; "2"; "--queue-limit"; "8" ]
+  in
+  let cleanup_daemon () =
+    (try Unix.kill daemon Sys.sigterm with Unix.Unix_error _ -> ());
+    ignore (try wait_code daemon with _ -> 0)
+  in
+  let fail fmt =
+    Printf.ksprintf
+      (fun m ->
+        cleanup_daemon ();
+        prerr_endline m;
+        exit 1)
+      fmt
+  in
+  let deadline = Unix.gettimeofday () +. 30. in
+  while not (Sys.file_exists socket) do
+    if Unix.gettimeofday () > deadline then fail "daemon never bound %s" socket;
+    Unix.sleepf 0.02
+  done;
+  let round label n_clients =
+    let clients =
+      List.init n_clients (fun i ->
+          let out = path (Printf.sprintf "%s-client%d.json" label i) in
+          ( out,
+            spawn
+              ~log:(path (Printf.sprintf "%s-client%d.log" label i))
+              ([ "submit"; "--socket"; socket; "--out"; out ] @ job_args) ))
+    in
+    List.iteri
+      (fun i (out, pid) ->
+        let c = wait_code pid in
+        if c <> 0 then fail "%s: client %d exited %d" label i c;
+        if read_file out <> expect then
+          fail "%s: client %d document differs from the sweep baseline" label
+            i)
+      clients
+  in
+  (* round 1: cold cache, concurrent misses, chaos crashes *)
+  round "cold" 3;
+  (* corrupt the store between rounds: truncate one entry mid-file *)
+  (match
+     Sys.readdir cache |> Array.to_list
+     |> List.filter (fun f -> Filename.check_suffix f ".json")
+   with
+  | [] -> fail "no cache entries written by round 1"
+  | f :: _ ->
+      let entry = Filename.concat cache f in
+      let whole = read_file entry in
+      let oc = open_out entry in
+      output_string oc (String.sub whole 0 (String.length whole / 2));
+      close_out oc);
+  (* round 2: a mix of hits, plus the damaged entry recomputed *)
+  round "warm" 2;
+  (* the daemon is still standing and says so *)
+  let hc =
+    wait_code
+      (spawn ~log:(path "health.log")
+         [ "submit"; "--socket"; socket; "--health" ])
+  in
+  if hc <> 0 then fail "health probe exited %d" hc;
+  let health = read_file (path "health.log") in
+  (* drain: exit 0, socket gone *)
+  (try Unix.kill daemon Sys.sigterm with Unix.Unix_error _ -> ());
+  let dc = wait_code daemon in
+  if dc <> 0 then die "daemon exited %d after SIGTERM" dc;
+  if Sys.file_exists socket then die "daemon left its socket behind";
+  Printf.printf "validate_soak: ok (5 clients byte-identical; health %s)\n"
+    (String.trim health)
