@@ -4,16 +4,22 @@
    coalesced warp load touches one line; a worst-case gather touches
    one line per active lane. *)
 
-(* Distinct line addresses touched by the access, in first-lane order. *)
+(* Distinct line addresses touched by the access, in first-lane order.
+   Dedup is a linear membership scan of the (at most warp-size long,
+   typically 1-2 long) accumulator — cheaper than hashing on the hot
+   path and allocation-free beyond the result list itself. *)
 let lines ~line_size ~mask ~addrs =
-  let seen = Hashtbl.create 8 in
   let out = ref [] in
-  Warp.iter_active mask (fun lane ->
-      let la = addrs.(lane) / line_size * line_size in
-      if not (Hashtbl.mem seen la) then begin
-        Hashtbl.add seen la ();
-        out := la :: !out
-      end);
+  let m = ref mask in
+  let lane = ref 0 in
+  while !m <> 0 do
+    if !m land 1 <> 0 then begin
+      let la = addrs.(!lane) / line_size * line_size in
+      if not (List.memq la !out) then out := la :: !out
+    end;
+    m := !m lsr 1;
+    incr lane
+  done;
   List.rev !out
 
 let count ~line_size ~mask ~addrs =

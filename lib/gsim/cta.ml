@@ -32,6 +32,9 @@ let mem_iface (launch : Launch.t) shared local =
         let old = Mem.load m ty addr in
         Mem.store m ty addr (Exec.exec_atom op old v);
         old);
+    m_global = launch.Launch.global;
+    m_shared = shared;
+    m_local = local;
   }
 
 let create (launch : Launch.t) ~warp_size ~cta_lin =
@@ -68,9 +71,10 @@ let create (launch : Launch.t) ~warp_size ~cta_lin =
                 lane;
               })
         in
-        Warp.create ~warp_id:w ~cta_lin ~env ~threads
-          ~valid_mask:(Warp.full_mask lanes) ~params:launch.Launch.params
-          ~reconv_of_pc:launch.Launch.reconv ~mem kernel)
+        Warp.create ~warp_id:w ~cta_lin ~decode:launch.Launch.decode ~env
+          ~threads ~valid_mask:(Warp.full_mask lanes)
+          ~params:launch.Launch.params ~reconv_of_pc:launch.Launch.reconv ~mem
+          kernel)
   in
   { cta_lin; warps; shared; launch }
 

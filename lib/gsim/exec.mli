@@ -41,6 +41,19 @@ val exec_alu : env -> thread -> Ptx.Instr.t -> unit
 (** Execute a non-memory, non-control instruction for one thread.
     @raise Invalid_argument on memory/control instructions. *)
 
+val exec_alu_warp : env -> thread array -> int -> Ptx.Instr.t -> unit
+(** [exec_alu_warp env threads mask i] executes [i] for every lane set
+    in [mask] (ascending), dispatching on the instruction once for the
+    whole warp.  Semantically identical to [exec_alu] per active lane.
+    @raise Invalid_argument on memory/control instructions. *)
+
+val compile_alu : Ptx.Instr.t -> env -> thread array -> int -> unit
+(** [compile_alu i] specialises [i] into a closure executing it for
+    every lane set in the mask argument (ascending).  Operand-shape
+    dispatch happens at compile time, once per pc per launch; results
+    are bit-identical to {!exec_alu_warp}.  Compiling a memory/control
+    instruction yields a closure that raises when invoked. *)
+
 (** Functional-unit class (for the Fig 4 occupancy statistics). *)
 type unit_class = SP | SFU | LDST
 

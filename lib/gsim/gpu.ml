@@ -20,8 +20,29 @@ type t = {
   mutable cycle : int;
 }
 
+(* The per-cycle hot path allocates short-lived boxes (Int64 register
+   values, requests, warp-load records); under the default 256k-word
+   minor heap a long simulation spends a measurable fraction of its
+   time in minor collections.  Grow the minor heap once per process —
+   GC parameters are pure runtime tuning and cannot affect simulation
+   results.  Never shrinks a user-configured larger heap. *)
+let gc_tuned = ref false
+
+let tune_gc () =
+  if not !gc_tuned then begin
+    gc_tuned := true;
+    let g = Gc.get () in
+    let minor = 16 * 1024 * 1024 (* words *) in
+    if g.Gc.minor_heap_size < minor then
+      Gc.set
+        { g with
+          Gc.minor_heap_size = minor;
+          space_overhead = max g.Gc.space_overhead 200 }
+  end
+
 let create_machine ?(cfg = Config.default) ?stats ?(trace = Trace.null ()) ()
     =
+  tune_gc ();
   let stats = match stats with Some s -> s | None -> Stats.create () in
   {
     cfg;
@@ -111,8 +132,12 @@ let occupancy_interval_mask = 255
 let step t d =
   distribute t d;
   let now = t.cycle in
-  Array.iter (fun sm -> Sm.cycle sm ~now ~icnt:t.icnt) t.sms;
-  Array.iter (fun p -> L2part.cycle p ~now ~icnt:t.icnt) t.parts;
+  for i = 0 to Array.length t.sms - 1 do
+    Sm.cycle t.sms.(i) ~now ~icnt:t.icnt
+  done;
+  for i = 0 to Array.length t.parts - 1 do
+    L2part.cycle t.parts.(i) ~now ~icnt:t.icnt
+  done;
   if Trace.enabled t.trace && now land occupancy_interval_mask = 0 then
     Array.iteri
       (fun id sm ->
@@ -188,13 +213,22 @@ let quiescent_horizon t d =
     let now = t.cycle in
     let active = ref false in
     let horizon = ref max_int in
-    let consider = function
-      | None -> ()
-      | Some c -> if c <= now then active := true else horizon := min !horizon c
+    let consider c =
+      if c <= now then active := true else if c < !horizon then horizon := c
     in
-    Array.iter (fun sm -> consider (Sm.next_wake sm ~now)) t.sms;
-    consider (Icnt.next_wake t.icnt ~now);
-    Array.iter (fun p -> consider (L2part.next_wake p ~now)) t.parts;
+    let nsm = Array.length t.sms in
+    let i = ref 0 in
+    while (not !active) && !i < nsm do
+      consider (Sm.next_wake t.sms.(!i) ~now);
+      incr i
+    done;
+    if not !active then consider (Icnt.next_wake t.icnt ~now);
+    let nparts = Array.length t.parts in
+    let i = ref 0 in
+    while (not !active) && !i < nparts do
+      consider (L2part.next_wake t.parts.(!i) ~now);
+      incr i
+    done;
     if !active then None else Some !horizon
   end
 

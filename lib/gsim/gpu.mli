@@ -44,3 +44,4 @@ val run :
   ?cfg:Config.t -> ?max_ctas:int -> ?stats:Stats.t -> ?trace:Trace.t ->
   ?fast_forward:bool -> Launch.t -> t
 (** One launch on a fresh machine. *)
+

@@ -65,14 +65,19 @@ let inject_request t ~now (req : Request.t) =
 (* Head request for the partition if it has arrived; consuming it
    returns the credit to its SM. *)
 let pop_request t ~now ~part =
-  match Queue.peek_opt t.to_part.(part) with
-  | Some req when req.Request.t_arrive <= now ->
-      ignore (Queue.pop t.to_part.(part));
+  let q = t.to_part.(part) in
+  if Queue.is_empty q then None
+  else begin
+    let req = Queue.peek q in
+    if req.Request.t_arrive <= now then begin
+      ignore (Queue.pop q);
       t.sm_inflight.(req.Request.sm_id) <-
         t.sm_inflight.(req.Request.sm_id) - 1;
       emit_xfer t ~cycle:now ~dir:Trace.Dir_req ~enq:false req ~part;
       Some req
-  | Some _ | None -> None
+    end
+    else None
+  end
 
 let inject_response t ~now (req : Request.t) =
   req.Request.t_resp_arrive <- now + t.cfg.Config.icnt_latency;
@@ -81,40 +86,49 @@ let inject_response t ~now (req : Request.t) =
   Queue.push req t.to_sm.(req.Request.sm_id)
 
 let pop_response t ~now ~sm =
-  match Queue.peek_opt t.to_sm.(sm) with
-  | Some req when req.Request.t_resp_arrive <= now ->
-      ignore (Queue.pop t.to_sm.(sm));
+  let q = t.to_sm.(sm) in
+  if Queue.is_empty q then None
+  else begin
+    let req = Queue.peek q in
+    if req.Request.t_resp_arrive <= now then begin
+      ignore (Queue.pop q);
       emit_xfer t ~cycle:now ~dir:Trace.Dir_resp ~enq:false req
         ~part:
           (partition_of t.cfg ~sm:req.Request.sm_id req.Request.line_addr);
       Some req
-  | Some _ | None -> None
+    end
+    else None
+  end
 
 let pending_responses t ~sm = Queue.length t.to_sm.(sm)
 
-(* Fast-forward contract: earliest cycle >= now at which an in-flight
-   transfer matures.  Both queue families are FIFO in arrival time
-   (the latency is a constant added to a monotone enqueue clock), so
-   only the heads need inspecting.  [Some now] — a head has already
-   arrived and its consumer must run; [None] — nothing in flight. *)
-let next_wake t ~now =
-  let active = ref false in
+(* Allocation-free per-cycle probe: has the head response for [sm]
+   arrived?  Lets the SM skip its return-processing phase entirely on
+   the (common) cycles with nothing to drain. *)
+let response_arrived t ~now ~sm =
+  let q = t.to_sm.(sm) in
+  (not (Queue.is_empty q)) && (Queue.peek q).Request.t_resp_arrive <= now
+
+(* Fast-forward contract: earliest cycle at which an in-flight transfer
+   matures — [max_int] when nothing is in flight, any value [<= now]
+   means a head has already arrived and its consumer must run.  Both
+   queue families are FIFO in arrival time (the latency is a constant
+   added to a monotone enqueue clock), so only the heads need
+   inspecting; the scan is allocation-free. *)
+let next_wake t ~now:_ =
   let horizon = ref max_int in
-  let candidate c =
-    if c <= now then active := true else if c < !horizon then horizon := c
-  in
   Array.iter
     (fun q ->
-      match Queue.peek_opt q with
-      | Some req -> candidate req.Request.t_arrive
-      | None -> ())
+      if not (Queue.is_empty q) then begin
+        let c = (Queue.peek q).Request.t_arrive in
+        if c < !horizon then horizon := c
+      end)
     t.to_part;
   Array.iter
     (fun q ->
-      match Queue.peek_opt q with
-      | Some req -> candidate req.Request.t_resp_arrive
-      | None -> ())
+      if not (Queue.is_empty q) then begin
+        let c = (Queue.peek q).Request.t_resp_arrive in
+        if c < !horizon then horizon := c
+      end)
     t.to_sm;
-  if !active then Some now
-  else if !horizon = max_int then None
-  else Some !horizon
+  !horizon

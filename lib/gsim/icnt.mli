@@ -31,8 +31,13 @@ val inject_response : t -> now:int -> Request.t -> unit
 val pop_response : t -> now:int -> sm:int -> Request.t option
 val pending_responses : t -> sm:int -> int
 
-val next_wake : t -> now:int -> int option
-(** Fast-forward contract: earliest cycle [>= now] at which an
-    in-flight transfer matures (both queue families are FIFO in arrival
-    time, so only the heads are inspected).  [Some now] — an arrived
-    head awaits its consumer; [None] — nothing in flight. *)
+val response_arrived : t -> now:int -> sm:int -> bool
+(** Allocation-free probe: true iff the head response for [sm] has
+    arrived and {!pop_response} would return it. *)
+
+val next_wake : t -> now:int -> int
+(** Fast-forward contract: earliest cycle at which an in-flight
+    transfer matures (both queue families are FIFO in arrival time, so
+    only the heads are inspected; allocation-free).  A value [<= now]
+    — an arrived head awaits its consumer; [max_int] — nothing in
+    flight. *)

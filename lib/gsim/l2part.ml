@@ -75,30 +75,32 @@ let cycle t ~now ~icnt =
   let cfg = t.cfg in
   (* (a) DRAM completions: fill L2, release waiters *)
   let continue_ = ref true in
-  while !continue_ do
-    match Queue.peek_opt t.dram with
-    | Some txn when txn.d_ready <= now ->
-        ignore (Queue.pop t.dram);
-        let waiters = Cache.fill t.cache ~line_addr:txn.d_line in
-        if Trace.enabled t.trace then begin
-          Trace.emit t.trace
-            (Trace.Ev_dram_deq { cycle = now; part = t.id; line = txn.d_line });
-          Trace.emit t.trace
-            (Trace.Ev_mshr_free
-               { cycle = now; where = Trace.S_l2 t.id; line = txn.d_line;
-                 waiters = List.length waiters })
-        end;
-        List.iter (fun req -> respond t ~now ~level:Request.Lvl_dram req) waiters
-    | Some _ | None -> continue_ := false
+  while !continue_ && not (Queue.is_empty t.dram) do
+    let txn = Queue.peek t.dram in
+    if txn.d_ready <= now then begin
+      ignore (Queue.pop t.dram);
+      let waiters = Cache.fill t.cache ~line_addr:txn.d_line in
+      if Trace.enabled t.trace then begin
+        Trace.emit t.trace
+          (Trace.Ev_dram_deq { cycle = now; part = t.id; line = txn.d_line });
+        Trace.emit t.trace
+          (Trace.Ev_mshr_free
+             { cycle = now; where = Trace.S_l2 t.id; line = txn.d_line;
+               waiters = List.length waiters })
+      end;
+      List.iter (fun req -> respond t ~now ~level:Request.Lvl_dram req) waiters
+    end
+    else continue_ := false
   done;
   (* (b) L2 hits whose ROP latency elapsed *)
   let continue_ = ref true in
-  while !continue_ do
-    match Queue.peek_opt t.hits with
-    | Some h when h.h_ready <= now ->
-        ignore (Queue.pop t.hits);
-        respond t ~now ~level:Request.Lvl_l2 h.h_req
-    | Some _ | None -> continue_ := false
+  while !continue_ && not (Queue.is_empty t.hits) do
+    let h = Queue.peek t.hits in
+    if h.h_ready <= now then begin
+      ignore (Queue.pop t.hits);
+      respond t ~now ~level:Request.Lvl_l2 h.h_req
+    end
+    else continue_ := false
   done;
   (* (c) accept arrived interconnect requests into the input queue *)
   let continue_ = ref true in
@@ -108,9 +110,8 @@ let cycle t ~now ~icnt =
     | None -> continue_ := false
   done;
   (* (d) process the input-queue head *)
-  (match Queue.peek_opt t.input with
-  | None -> ()
-  | Some req -> (
+  (if not (Queue.is_empty t.input) then begin
+     let req = Queue.peek t.input in
       if req.Request.t_l2_start < 0 then req.Request.t_l2_start <- now;
       match req.Request.kind with
       | Request.Store ->
@@ -190,7 +191,8 @@ let cycle t ~now ~icnt =
                    ~line:req.Request.line_addr ~write:false)
           | Cache.Rsrv_fail _ ->
               t.rsrv_fails <- t.rsrv_fails + 1;
-              t.stats.Stats.l2_rsrv_fails <- t.stats.Stats.l2_rsrv_fails + 1)));
+              t.stats.Stats.l2_rsrv_fails <- t.stats.Stats.l2_rsrv_fails + 1)
+   end);
   (* (e) inject one response back towards its SM *)
   match Queue.take_opt t.resp with
   | Some req -> Icnt.inject_response icnt ~now req
@@ -200,29 +202,27 @@ let idle t =
   Queue.is_empty t.input && Queue.is_empty t.dram && Queue.is_empty t.hits
   && Queue.is_empty t.resp
 
-(* Fast-forward contract: earliest cycle >= now at which the partition
-   can make progress on its own.  A non-empty input queue is active
-   every cycle (the head is retried, mutating reservation-fail stats on
-   failure), as is a pending response injection.  The DRAM and ROP-hit
-   queues are FIFO in ready time — DRAM ready times are
-   [begin_at + dram_latency] with [begin_at] monotone by construction
-   of [schedule_dram], hit ready times are a constant past a monotone
-   enqueue clock — so only their heads need inspecting. *)
+(* Fast-forward contract: earliest cycle at which the partition can
+   make progress on its own — [max_int] when nothing is pending, any
+   value [<= now] means it is active this cycle.  A non-empty input
+   queue is active every cycle (the head is retried, mutating
+   reservation-fail stats on failure), as is a pending response
+   injection.  The DRAM and ROP-hit queues are FIFO in ready time —
+   DRAM ready times are [begin_at + dram_latency] with [begin_at]
+   monotone by construction of [schedule_dram], hit ready times are a
+   constant past a monotone enqueue clock — so only their heads need
+   inspecting; the probe is allocation-free. *)
 let next_wake t ~now =
-  if not (Queue.is_empty t.input) || not (Queue.is_empty t.resp) then Some now
+  if not (Queue.is_empty t.input) || not (Queue.is_empty t.resp) then now
   else begin
-    let active = ref false in
     let horizon = ref max_int in
-    let candidate c =
-      if c <= now then active := true else if c < !horizon then horizon := c
-    in
-    (match Queue.peek_opt t.dram with
-    | Some txn -> candidate txn.d_ready
-    | None -> ());
-    (match Queue.peek_opt t.hits with
-    | Some h -> candidate h.h_ready
-    | None -> ());
-    if !active then Some now
-    else if !horizon = max_int then None
-    else Some !horizon
+    if not (Queue.is_empty t.dram) then begin
+      let c = (Queue.peek t.dram).d_ready in
+      if c < !horizon then horizon := c
+    end;
+    if not (Queue.is_empty t.hits) then begin
+      let c = (Queue.peek t.hits).h_ready in
+      if c < !horizon then horizon := c
+    end;
+    !horizon
   end

@@ -16,8 +16,9 @@ val cycle : t -> now:int -> icnt:Icnt.t -> unit
 val idle : t -> bool
 (** No queued work anywhere in the partition. *)
 
-val next_wake : t -> now:int -> int option
-(** Fast-forward contract: earliest cycle [>= now] at which the
-    partition can make progress on its own.  [Some now] — active (a
-    queued input head or pending response); [Some c] — quiescent until
-    the DRAM / ROP-hit queue head matures at [c]; [None] — empty. *)
+val next_wake : t -> now:int -> int
+(** Fast-forward contract: earliest cycle at which the partition can
+    make progress on its own.  A value [<= now] — active (a queued
+    input head or pending response); [now < c < max_int] — quiescent
+    until the DRAM / ROP-hit queue head matures at [c]; [max_int] —
+    empty.  Allocation-free. *)

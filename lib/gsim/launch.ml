@@ -10,18 +10,69 @@ type t = {
   global : Mem.t;
   classes : Dataflow.Classify.result;
   reconv : int array;
+  decode : Decode.t;
 }
+
+(* The static analyses — verification, dataflow classification, the
+   post-dominator reconvergence table, and the predecoded dispatch
+   tables — depend only on the kernel, but iterative applications
+   relaunch the same kernel value dozens to hundreds of times.  Memoize
+   them on the kernel's physical identity ([Ptx.Kernel.t] is immutable
+   once built); the move-to-front list keeps the handful of live
+   kernels at the head and the cap bounds growth for callers that
+   rebuild kernels per launch. *)
+type static = {
+  s_classes : Dataflow.Classify.result;
+  s_reconv : int array;
+  s_decode : Decode.t;
+}
+
+let static_cache : (Ptx.Kernel.t * static) list ref = ref []
+
+let static_cache_cap = 64
+
+let static_of_kernel kernel =
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: rest -> x :: take (n - 1) rest
+  in
+  let rec find acc = function
+    | [] -> None
+    | ((k, s) as e) :: rest ->
+        if k == kernel then begin
+          static_cache := e :: List.rev_append acc rest;
+          Some s
+        end
+        else find (e :: acc) rest
+  in
+  match find [] !static_cache with
+  | Some s -> s
+  | None ->
+      let kname = kernel.Ptx.Kernel.kname in
+      (* Static verification up front: a kernel that fails here would
+         otherwise surface as a confusing runtime fault
+         mid-simulation. *)
+      (match Dataflow.Verify.verify_kernel kernel |> Ptx.Verify.errors with
+      | [] -> ()
+      | errs ->
+          Sim_error.error ~kernel:kname Sim_error.Invalid_kernel
+            "kernel failed verification: %s"
+            (String.concat "; " (List.map Ptx.Verify.to_string errs)));
+      let classes = Dataflow.Classify.classify kernel in
+      let s =
+        {
+          s_classes = classes;
+          s_reconv = Warp.reconvergence_table kernel;
+          s_decode = Decode.of_kernel kernel classes;
+        }
+      in
+      static_cache := take static_cache_cap ((kernel, s) :: !static_cache);
+      s
 
 let create ~kernel ~grid ~block ~params ~global =
   let kname = kernel.Ptx.Kernel.kname in
-  (* Static verification up front: a kernel that fails here would
-     otherwise surface as a confusing runtime fault mid-simulation. *)
-  (match Dataflow.Verify.verify_kernel kernel |> Ptx.Verify.errors with
-  | [] -> ()
-  | errs ->
-      Sim_error.error ~kernel:kname Sim_error.Invalid_kernel
-        "kernel failed verification: %s"
-        (String.concat "; " (List.map Ptx.Verify.to_string errs)));
+  let s = static_of_kernel kernel in
   let tbl = Hashtbl.create 16 in
   List.iter (fun (k, v) -> Hashtbl.replace tbl k v) params;
   List.iter
@@ -41,8 +92,9 @@ let create ~kernel ~grid ~block ~params ~global =
     block;
     params = tbl;
     global;
-    classes = Dataflow.Classify.classify kernel;
-    reconv = Warp.reconvergence_table kernel;
+    classes = s.s_classes;
+    reconv = s.s_reconv;
+    decode = s.s_decode;
   }
 
 let n_ctas t =
@@ -66,7 +118,4 @@ let thread_coords t linear_tid =
   let bx, by, _ = t.block in
   (linear_tid mod bx, linear_tid / bx mod by, linear_tid / (bx * by))
 
-let load_class t pc =
-  match Dataflow.Classify.class_of_global_load t.classes pc with
-  | Some c -> c
-  | None -> Dataflow.Classify.Deterministic
+let load_class t pc = t.decode.Decode.load_cls.(pc)

@@ -10,6 +10,7 @@ type t = {
   global : Mem.t;
   classes : Dataflow.Classify.result;
   reconv : int array;
+  decode : Decode.t;
 }
 
 val create :

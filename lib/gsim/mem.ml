@@ -3,16 +3,32 @@
    Register values are 64-bit; floats travel as IEEE-754 bit patterns
    (f32 values are rounded through 32 bits on store/load). *)
 
-type t = { data : Bytes.t; size : int }
+(* The buffer is zeroed lazily: [zeroed] bytes from the start are
+   known-zero (or since overwritten); anything beyond is uninitialized
+   [Bytes.create] garbage that no access has ever seen.  Applications
+   allocate tens of MB of address space but often touch only a few MB,
+   and an eager memset of the whole buffer dominated their setup time;
+   the watermark bounds total zeroing work by the touched range (plus
+   one chunk) instead of the capacity. *)
+type t = { data : Bytes.t; size : int; mutable zeroed : int }
 
-let create size = { data = Bytes.make size '\000'; size }
+let zero_chunk = 256 * 1024
+
+let create size = { data = Bytes.create size; size; zeroed = 0 }
 
 let size t = t.size
+
+(* Extend the zeroed prefix to cover [limit) in chunk-sized steps. *)
+let extend_zero t limit =
+  let upto = min t.size ((limit + zero_chunk - 1) land lnot (zero_chunk - 1)) in
+  Bytes.fill t.data t.zeroed (upto - t.zeroed) '\000';
+  t.zeroed <- upto
 
 let check t addr len =
   if addr < 0 || addr + len > t.size then
     Sim_error.error Sim_error.Mem_fault
-      "access [%d,+%d) out of bounds [0,%d)" addr len t.size
+      "access [%d,+%d) out of bounds [0,%d)" addr len t.size;
+  if addr + len > t.zeroed then extend_zero t (addr + len)
 
 (* All loads zero-extend into the 64-bit register except the signed
    narrow types, which sign-extend (as PTX ld.sN does). *)

@@ -1,0 +1,74 @@
+(* Circular-array FIFO.  Elements live in an [Obj.t array] so one
+   polymorphic buffer can be preallocated without a caller-supplied
+   dummy element; slots are reset to an immediate on [pop] so popped
+   elements do not leak.  The backing array is created from an
+   immediate, so it is never specialized to a flat float array and
+   storing any boxed value in it is representation-safe. *)
+
+type 'a t = {
+  mutable buf : Obj.t array;
+  mutable head : int; (* index of the oldest element *)
+  mutable len : int;
+}
+
+exception Empty
+
+let hole = Obj.repr 0
+
+let create ?(capacity = 16) () =
+  { buf = Array.make (max 1 capacity) hole; head = 0; len = 0 }
+
+let length t = t.len
+
+let is_empty t = t.len = 0
+
+let capacity t = Array.length t.buf
+
+let grow t =
+  let cap = Array.length t.buf in
+  let nbuf = Array.make (2 * cap) hole in
+  for i = 0 to t.len - 1 do
+    nbuf.(i) <- t.buf.((t.head + i) mod cap)
+  done;
+  t.buf <- nbuf;
+  t.head <- 0
+
+let push x t =
+  let cap = Array.length t.buf in
+  if t.len = cap then grow t;
+  let cap = Array.length t.buf in
+  t.buf.((t.head + t.len) mod cap) <- Obj.repr x;
+  t.len <- t.len + 1
+
+let pop t =
+  if t.len = 0 then raise Empty;
+  let x = t.buf.(t.head) in
+  t.buf.(t.head) <- hole;
+  t.head <- (t.head + 1) mod Array.length t.buf;
+  t.len <- t.len - 1;
+  Obj.obj x
+
+let pop_opt t = if t.len = 0 then None else Some (pop t)
+
+let peek t = if t.len = 0 then raise Empty else Obj.obj t.buf.(t.head)
+
+let peek_opt t = if t.len = 0 then None else Some (Obj.obj t.buf.(t.head))
+
+let clear t =
+  let cap = Array.length t.buf in
+  for i = 0 to t.len - 1 do
+    t.buf.((t.head + i) mod cap) <- hole
+  done;
+  t.head <- 0;
+  t.len <- 0
+
+let iter f t =
+  let cap = Array.length t.buf in
+  for i = 0 to t.len - 1 do
+    f (Obj.obj t.buf.((t.head + i) mod cap))
+  done
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun x -> acc := x :: !acc) t;
+  List.rev !acc

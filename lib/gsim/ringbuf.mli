@@ -1,0 +1,50 @@
+(** Preallocated growable FIFO — a drop-in replacement for [Queue.t]
+    on the simulator's hot paths.
+
+    [Queue] allocates one cons-like cell per [push]; at millions of
+    memory requests per run that is pure GC churn.  [Ringbuf] stores
+    elements in a circular array that doubles when full, so the steady
+    state allocates nothing per operation.
+
+    Semantics match [Queue] exactly — strict FIFO, [pop]/[peek] observe
+    the oldest element — which the property suite checks against a
+    [Queue] reference under random operation sequences. *)
+
+type 'a t
+
+exception Empty
+
+val create : ?capacity:int -> unit -> 'a t
+(** Fresh empty buffer.  [capacity] (default 16, clamped to >= 1) is
+    the initial allocation; the buffer grows as needed. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val capacity : 'a t -> int
+(** Current allocated slots (for tests and introspection). *)
+
+val push : 'a -> 'a t -> unit
+(** Append at the tail; grows (doubling) when full. *)
+
+val pop : 'a t -> 'a
+(** Remove and return the head.  @raise Empty when empty. *)
+
+val pop_opt : 'a t -> 'a option
+(** Remove and return the head, or [None] when empty. *)
+
+val peek : 'a t -> 'a
+(** Head without removing it.  Allocation-free, for per-cycle polling
+    loops.  @raise Empty when empty. *)
+
+val peek_opt : 'a t -> 'a option
+(** Head without removing it, or [None] when empty. *)
+
+val clear : 'a t -> unit
+(** Drop all elements (capacity is retained). *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** [iter f t] applies [f] oldest-first. *)
+
+val to_list : 'a t -> 'a list
+(** Elements oldest-first (for tests). *)

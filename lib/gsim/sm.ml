@@ -13,19 +13,28 @@
         instruction.
 
    Occupancy of each unit's first pipeline stage is sampled every cycle
-   for Fig 4. *)
+   for Fig 4.
+
+   Warp-slot state lives in flat int arrays ([states], [blocked_until])
+   rather than a per-slot variant record: the issue scan, the
+   fast-forward [next_wake] probe and the barrier/retire sweeps all
+   walk every slot, and an unboxed compare-and-branch per slot keeps
+   those walks allocation-free and cache-friendly. *)
 
 type cls = Dataflow.Classify.load_class
 
-type warp_state =
-  | W_ready
-  | W_blocked_until of int
-  | W_waiting_mem
-  | W_barrier
-  | W_done
-  | W_empty
+(* Slot state codes (values of [states]). *)
+let st_empty = 0
 
-type slot = { mutable warp : Warp.t option; mutable state : warp_state }
+let st_ready = 1
+
+let st_blocked = 2 (* wakes at [blocked_until] *)
+
+let st_waiting_mem = 3
+
+let st_barrier = 4
+
+let st_done = 5
 
 type resident = {
   rc_cta : Cta.t;
@@ -49,16 +58,44 @@ type pending_mem = {
 
 type hit_completion = { hc_ready : int; hc_req : Request.t }
 
+(* [slot_unit] codes: the three [Exec.unit_class]es plus "not peeked
+   yet". *)
+let unit_unknown = -1
+
+let unit_code = function Exec.SP -> 0 | Exec.SFU -> 1 | Exec.LDST -> 2
+
 type t = {
   id : int;
   cfg : Config.t;
   stats : Stats.t;
   trace : Trace.t;
   l1 : Cache.t;
-  mutable slots : slot array;
+  mutable warps : Warp.t option array; (* per slot *)
+  mutable states : int array; (* per slot, [st_*] codes *)
+  mutable blocked_until : int array; (* meaningful when [st_blocked] *)
+  (* Cached [Warp.peek_unit] per slot, [unit_unknown] when not yet
+     peeked.  A warp's next instruction is fixed between steps, so the
+     cache is invalidated only when the slot's warp steps (or the slot
+     is re-assigned); the issue scan then skips the peek on warps it
+     already knows are stalled on a busy unit. *)
+  mutable slot_unit : int array;
+  mutable slot_rc : resident option array; (* owning CTA per slot *)
+  mutable n_empty : int; (* |{ i | states.(i) = st_empty }| *)
+  mutable n_ready : int; (* |{ i | states.(i) = st_ready }| *)
+  (* Ready slots bucketed by cached unit: index [slot_unit + 1], so
+     bucket 0 counts ready slots not yet peeked.  Lets the issue stage
+     skip the scan when every ready warp waits on a known-busy unit. *)
+  n_ready_u : int array;
+  mutable n_blocked : int; (* |{ i | states.(i) = st_blocked }| *)
+  (* Lower bound on min blocked_until over blocked slots (max_int when
+     none).  Never raised eagerly when a blocked slot wakes, so it can
+     go stale low — [refresh_blocked_min] recomputes it exactly before
+     it is used to skip work.  A stale-low bound only costs a scan,
+     never correctness. *)
+  mutable blocked_min : int;
   mutable residents : resident list;
-  ldst_q : pending_mem Queue.t;
-  hit_pending : hit_completion Queue.t;
+  ldst_q : pending_mem Ringbuf.t;
+  hit_pending : hit_completion Ringbuf.t;
   mutable sp_busy_until : int;
   mutable sfu_busy_until : int;
   mutable ldst_busy_until : int; (* shared/const ops occupy LD/ST too *)
@@ -77,10 +114,19 @@ let create ?(trace = Trace.null ()) (cfg : Config.t) ~id ~stats ~warp_slots =
         ~line_size:cfg.Config.line_size
         ~mshr_entries:cfg.Config.l1_mshr_entries
         ~mshr_max_merge:cfg.Config.l1_mshr_max_merge;
-    slots = Array.init warp_slots (fun _ -> { warp = None; state = W_empty });
+    warps = Array.make warp_slots None;
+    states = Array.make warp_slots st_empty;
+    blocked_until = Array.make warp_slots 0;
+    slot_unit = Array.make warp_slots unit_unknown;
+    slot_rc = Array.make warp_slots None;
+    n_empty = warp_slots;
+    n_ready = 0;
+    n_ready_u = Array.make 4 0;
+    n_blocked = 0;
+    blocked_min = max_int;
     residents = [];
-    ldst_q = Queue.create ();
-    hit_pending = Queue.create ();
+    ldst_q = Ringbuf.create ~capacity:64 ();
+    hit_pending = Ringbuf.create ~capacity:64 ();
     sp_busy_until = 0;
     sfu_busy_until = 0;
     ldst_busy_until = 0;
@@ -95,44 +141,139 @@ let reconfigure t ~warp_slots =
     Sim_error.error Sim_error.Internal
       "SM %d reconfigured with %d CTAs still resident" t.id
       (List.length t.residents);
-  if Array.length t.slots <> warp_slots then
-    t.slots <- Array.init warp_slots (fun _ -> { warp = None; state = W_empty });
+  if Array.length t.states <> warp_slots then begin
+    t.warps <- Array.make warp_slots None;
+    t.states <- Array.make warp_slots st_empty;
+    t.blocked_until <- Array.make warp_slots 0;
+    t.slot_unit <- Array.make warp_slots unit_unknown;
+    t.slot_rc <- Array.make warp_slots None
+  end;
+  t.n_empty <- warp_slots;
+  t.n_ready <- 0;
+  Array.fill t.n_ready_u 0 4 0;
+  t.n_blocked <- 0;
+  t.blocked_min <- max_int;
   t.last_issued <- 0
 
-let free_slots t =
-  Array.fold_left (fun a s -> if s.state = W_empty then a + 1 else a) 0 t.slots
+let free_slots t = t.n_empty
+
+(* All slot-state writes go through here so the O(1) occupancy counters
+   stay consistent with [states]. *)
+let set_state t i st =
+  let old = t.states.(i) in
+  if old <> st then begin
+    if old = st_empty then t.n_empty <- t.n_empty - 1
+    else if old = st_ready then begin
+      t.n_ready <- t.n_ready - 1;
+      let b = t.slot_unit.(i) + 1 in
+      t.n_ready_u.(b) <- t.n_ready_u.(b) - 1
+    end
+    else if old = st_blocked then begin
+      t.n_blocked <- t.n_blocked - 1;
+      if t.n_blocked = 0 then t.blocked_min <- max_int
+    end;
+    if st = st_empty then t.n_empty <- t.n_empty + 1
+    else if st = st_ready then begin
+      t.n_ready <- t.n_ready + 1;
+      let b = t.slot_unit.(i) + 1 in
+      t.n_ready_u.(b) <- t.n_ready_u.(b) + 1
+    end
+    else if st = st_blocked then t.n_blocked <- t.n_blocked + 1;
+    t.states.(i) <- st
+  end
+
+(* All [slot_unit] writes on live slots go through here so the
+   [n_ready_u] buckets track ready slots exactly. *)
+let set_slot_unit t i c =
+  let old = t.slot_unit.(i) in
+  if old <> c then begin
+    if t.states.(i) = st_ready then begin
+      t.n_ready_u.(old + 1) <- t.n_ready_u.(old + 1) - 1;
+      t.n_ready_u.(c + 1) <- t.n_ready_u.(c + 1) + 1
+    end;
+    t.slot_unit.(i) <- c
+  end
+
+let set_blocked t i ~until =
+  set_state t i st_blocked;
+  t.blocked_until.(i) <- until;
+  if until < t.blocked_min then t.blocked_min <- until
+
+(* Recompute [blocked_min] exactly; call only when the stale bound is
+   about to trigger a slot scan. *)
+let refresh_blocked_min t =
+  let m = ref max_int in
+  let bu = t.blocked_until and sts = t.states in
+  for i = 0 to Array.length sts - 1 do
+    if sts.(i) = st_blocked && bu.(i) < !m then m := bu.(i)
+  done;
+  t.blocked_min <- !m
+
+(* True iff some slot would pass [slot_ready] this cycle — the issue
+   scan (and its stack-mutating [Warp.peek_unit] calls) runs only on
+   such slots, so skipping it entirely when this is false is
+   behaviourally identical. *)
+let any_issuable t ~now =
+  t.n_ready > 0
+  || t.n_blocked > 0
+     && t.blocked_min <= now
+     && begin
+          refresh_blocked_min t;
+          t.blocked_min <= now
+        end
+
+(* Stronger gate for the issue stage only: beyond [any_issuable], a
+   scan is also pointless when every ready slot's cached unit is busy
+   (bucket 0 holds the not-yet-peeked slots, which must be scanned to
+   learn their unit).  An expired blocked slot always forces the scan —
+   the scan promotes it to [st_ready] so the buckets take over from the
+   next cycle on.  NOT used by [next_wake]: busy units are not wake
+   sources there, so the weaker [any_issuable] keeps its contract. *)
+let scan_worthwhile t ~now =
+  (t.n_blocked > 0
+   && t.blocked_min <= now
+   && begin
+        refresh_blocked_min t;
+        t.blocked_min <= now
+      end)
+  || t.n_ready_u.(0) > 0
+  || (t.n_ready_u.(1) > 0 && t.sp_busy_until <= now)
+  || (t.n_ready_u.(2) > 0 && t.sfu_busy_until <= now)
+  || t.n_ready_u.(3) > 0
+     && Ringbuf.is_empty t.ldst_q
+     && t.ldst_busy_until <= now
 
 (* Place a CTA in contiguous free slots; false when it does not fit. *)
 let try_launch t (launch : Launch.t) ~cta_lin =
   let nwarps = Launch.warps_per_cta launch ~warp_size:t.cfg.Config.warp_size in
-  let n = Array.length t.slots in
+  let n = Array.length t.states in
   let rec find_base base =
     if base + nwarps > n then None
-    else if
-      Array.for_all
-        (fun i -> t.slots.(base + i).state = W_empty)
-        (Array.init nwarps Fun.id)
-    then Some base
-    else find_base (base + nwarps)
+    else begin
+      let free = ref true in
+      for i = base to base + nwarps - 1 do
+        if t.states.(i) <> st_empty then free := false
+      done;
+      if !free then Some base else find_base (base + nwarps)
+    end
   in
   match find_base 0 with
   | None -> false
   | Some base ->
       let cta = Cta.create launch ~warp_size:t.cfg.Config.warp_size ~cta_lin in
+      let rc = { rc_cta = cta; rc_base = base; rc_nwarps = Cta.n_warps cta } in
       Array.iteri
         (fun i w ->
-          t.slots.(base + i).warp <- Some w;
-          t.slots.(base + i).state <- W_ready)
+          t.warps.(base + i) <- Some w;
+          t.slot_unit.(base + i) <- unit_unknown; (* while still empty *)
+          set_state t (base + i) st_ready;
+          t.slot_rc.(base + i) <- Some rc)
         cta.Cta.warps;
-      t.residents <- { rc_cta = cta; rc_base = base; rc_nwarps = Cta.n_warps cta } :: t.residents;
+      t.residents <- rc :: t.residents;
       true
 
 let resident_of_slot t slot =
-  match
-    List.find_opt
-      (fun rc -> slot >= rc.rc_base && slot < rc.rc_base + rc.rc_nwarps)
-      t.residents
-  with
+  match t.slot_rc.(slot) with
   | Some rc -> rc
   | None ->
       Sim_error.error Sim_error.Internal
@@ -143,26 +284,26 @@ let resident_of_slot t slot =
 let check_barrier t rc =
   let all_there = ref true in
   for i = rc.rc_base to rc.rc_base + rc.rc_nwarps - 1 do
-    match t.slots.(i).state with
-    | W_barrier | W_done -> ()
-    | W_ready | W_blocked_until _ | W_waiting_mem | W_empty ->
-        all_there := false
+    let st = t.states.(i) in
+    if st <> st_barrier && st <> st_done then all_there := false
   done;
   if !all_there then
     for i = rc.rc_base to rc.rc_base + rc.rc_nwarps - 1 do
-      if t.slots.(i).state = W_barrier then t.slots.(i).state <- W_ready
+      if t.states.(i) = st_barrier then set_state t i st_ready
     done
 
 (* CTA retirement: free its slots. *)
 let check_cta_done t rc =
   let all_done = ref true in
   for i = rc.rc_base to rc.rc_base + rc.rc_nwarps - 1 do
-    if t.slots.(i).state <> W_done then all_done := false
+    if t.states.(i) <> st_done then all_done := false
   done;
   if !all_done then begin
     for i = rc.rc_base to rc.rc_base + rc.rc_nwarps - 1 do
-      t.slots.(i).warp <- None;
-      t.slots.(i).state <- W_empty
+      t.warps.(i) <- None;
+      set_state t i st_empty;
+      t.slot_unit.(i) <- unit_unknown;
+      t.slot_rc.(i) <- None
     done;
     t.residents <- List.filter (fun r -> r != rc) t.residents;
     t.completed_ctas <- t.completed_ctas + 1;
@@ -198,8 +339,8 @@ let complete_request t ~now (req : Request.t) =
                  cls = wl.Request.wl_cls; nreq = wl.Request.wl_nreq;
                  turnaround = now - wl.Request.wl_t_issue;
                  level = wl.Request.wl_deepest });
-        let slot = t.slots.(wl.Request.wl_warp_slot) in
-        if slot.state = W_waiting_mem then slot.state <- W_ready
+        let slot = wl.Request.wl_warp_slot in
+        if t.states.(slot) = st_waiting_mem then set_state t slot st_ready
       end
 
 let process_returns t ~now ~icnt =
@@ -236,12 +377,13 @@ let process_returns t ~now ~icnt =
   done;
   (* local L1-hit completions *)
   let continue_ = ref true in
-  while !continue_ do
-    match Queue.peek_opt t.hit_pending with
-    | Some hc when hc.hc_ready <= now ->
-        ignore (Queue.pop t.hit_pending);
-        complete_request t ~now hc.hc_req
-    | Some _ | None -> continue_ := false
+  while !continue_ && not (Ringbuf.is_empty t.hit_pending) do
+    let hc = Ringbuf.peek t.hit_pending in
+    if hc.hc_ready <= now then begin
+      ignore (Ringbuf.pop t.hit_pending);
+      complete_request t ~now hc.hc_req
+    end
+    else continue_ := false
   done
 
 (* ---- LD/ST unit: one L1 access attempt per cycle ---- *)
@@ -255,19 +397,18 @@ let accept_times (wl : Request.warp_load option) now =
       wl.Request.wl_t_last_accept <- now
 
 let ldst_cycle t ~now ~icnt =
-  match Queue.peek_opt t.ldst_q with
-  | None -> ()
-  | Some pm -> (
+  if not (Ringbuf.is_empty t.ldst_q) then begin
+    let pm = Ringbuf.peek t.ldst_q in
       match pm.pm_lines with
       | [] -> (
-          ignore (Queue.pop t.ldst_q);
+          ignore (Ringbuf.pop t.ldst_q);
           (* next sub-warp group goes to the back of the queue so other
              warps can interleave (Section X.A) *)
           match pm.pm_groups with
           | g :: rest ->
               pm.pm_lines <- g;
               pm.pm_groups <- rest;
-              Queue.push pm t.ldst_q
+              Ringbuf.push pm t.ldst_q
           | [] -> ())
       | line :: rest -> (
           match pm.pm_kind with
@@ -371,7 +512,7 @@ let ldst_cycle t ~now ~icnt =
               | Cache.Hit ->
                   req.Request.t_accept <- now;
                   accept_times pm.pm_wl now;
-                  Queue.push
+                  Ringbuf.push
                     { hc_ready = now + t.cfg.Config.l1_hit_latency;
                       hc_req = req }
                     t.hit_pending;
@@ -406,20 +547,14 @@ let ldst_cycle t ~now ~icnt =
                           ()
                     end
                   end
-              | Cache.Rsrv_fail _ -> ())))
+              | Cache.Rsrv_fail _ -> ()))
+  end
 
 (* ---- issue stage ---- *)
 
 let slot_ready t i ~now =
-  match t.slots.(i).state with
-  | W_ready -> true
-  | W_blocked_until c -> c <= now
-  | W_waiting_mem | W_barrier | W_done | W_empty -> false
-
-let unit_free t ~now = function
-  | Exec.SP -> t.sp_busy_until <= now
-  | Exec.SFU -> t.sfu_busy_until <= now
-  | Exec.LDST -> Queue.length t.ldst_q = 0 && t.ldst_busy_until <= now
+  let st = t.states.(i) in
+  st = st_ready || (st = st_blocked && t.blocked_until.(i) <= now)
 
 (* Effective policy for the global load at (kernel, pc): a per-pc
    override from the advisor when present, else the class-wide flags. *)
@@ -437,7 +572,6 @@ let policy_for (cfg : Config.t) ~kernel ~pc cls =
    enqueue into the LD/ST unit, block the warp if it must wait. *)
 let issue_mem t ~now ~slot_idx (w : Warp.t) (m : Warp.mem_op) =
   let cfg = t.cfg in
-  let slot = t.slots.(slot_idx) in
   match (m.Warp.m_space, m.Warp.m_kind) with
   | Ptx.Types.Global, (Warp.Load | Warp.Atomic) ->
       let launch = (resident_of_slot t slot_idx).rc_cta.Cta.launch in
@@ -457,7 +591,7 @@ let issue_mem t ~now ~slot_idx (w : Warp.t) (m : Warp.mem_op) =
       wl.Request.wl_nreq <- total;
       wl.Request.wl_outstanding <- total;
       (match groups with
-      | [] -> slot.state <- W_blocked_until (now + 1)
+      | [] -> set_blocked t slot_idx ~until:(now + 1)
       | g :: rest ->
           if Trace.enabled t.trace then
             Trace.emit t.trace
@@ -465,7 +599,7 @@ let issue_mem t ~now ~slot_idx (w : Warp.t) (m : Warp.mem_op) =
                  { cycle = now; sm = t.id; cta; warp_slot = slot_idx;
                    kernel; pc = m.Warp.m_pc; cls;
                    active = Warp.popcount m.Warp.m_mask; nreq = total });
-          Queue.push
+          Ringbuf.push
             { pm_wl = Some wl; pm_lines = g; pm_groups = rest;
               pm_kind =
                 (if m.Warp.m_kind = Warp.Atomic then Request.Atomic
@@ -475,20 +609,20 @@ let issue_mem t ~now ~slot_idx (w : Warp.t) (m : Warp.mem_op) =
               pm_prefetch = pol.Config.lp_prefetch;
               pm_bypass = pol.Config.lp_bypass }
             t.ldst_q;
-          slot.state <- W_waiting_mem)
+          set_state t slot_idx st_waiting_mem)
   | Ptx.Types.Global, Warp.Store ->
       let lines =
         Coalesce.lines ~line_size:cfg.Config.line_size ~mask:m.Warp.m_mask
           ~addrs:m.Warp.m_addrs
       in
-      Queue.push
+      Ringbuf.push
         { pm_wl = None; pm_lines = lines; pm_groups = [];
           pm_kind = Request.Store; pm_cls = Dataflow.Classify.Deterministic;
           pm_cta = w.Warp.cta_lin;
           pm_prefetch = false; pm_bypass = false }
         t.ldst_q;
       (* stores are fire-and-forget: the warp continues *)
-      slot.state <- W_blocked_until (now + 1)
+      set_blocked t slot_idx ~until:(now + 1)
   | (Ptx.Types.Shared | Ptx.Types.Local), _ ->
       if m.Warp.m_kind = Warp.Load then
         t.stats.Stats.shared_loads <- t.stats.Stats.shared_loads + 1;
@@ -505,64 +639,89 @@ let issue_mem t ~now ~slot_idx (w : Warp.t) (m : Warp.mem_op) =
         end
       in
       t.ldst_busy_until <- now + 1 + conflicts;
-      slot.state <-
-        W_blocked_until (now + cfg.Config.shared_latency + (2 * (conflicts - 1)))
+      set_blocked t slot_idx
+        ~until:(now + cfg.Config.shared_latency + (2 * (conflicts - 1)))
   | (Ptx.Types.Const | Ptx.Types.Tex | Ptx.Types.Param), _ ->
       t.ldst_busy_until <- now + 2;
-      slot.state <- W_blocked_until (now + cfg.Config.l1_hit_latency)
+      set_blocked t slot_idx ~until:(now + cfg.Config.l1_hit_latency)
 
 let issue_cycle t ~now =
-  let n = Array.length t.slots in
-  if n > 0 then begin
+  let n = Array.length t.states in
+  if n > 0 && scan_worthwhile t ~now then begin
     let issued = ref false in
     let tried = ref 0 in
     (* LRR rotates from the last issuer; GTO stays greedy on the same
-       warp and falls back to the oldest (lowest slot) *)
-    let candidate k =
-      match t.cfg.Config.warp_sched with
-      | Config.Lrr -> (t.last_issued + 1 + k) mod n
-      | Config.Gto ->
-          if k = 0 then t.last_issued
-          else
-            let j = k - 1 in
-            if j < t.last_issued then j else (j + 1) mod n
+       warp and falls back to the oldest (lowest slot).  The candidate
+       sequence is generated by increment-and-wrap — no division in
+       this per-cycle loop.  LRR visits last+1, last+2, ... (mod n);
+       GTO visits last, 0, 1, ..., skipping last. *)
+    let lrr = t.cfg.Config.warp_sched = Config.Lrr in
+    let last = t.last_issued in
+    let cur = ref (if lrr then (if last + 1 >= n then 0 else last + 1) else last)
     in
     while (not !issued) && !tried < n do
-      let i = candidate !tried in
+      let i = !cur in
       incr tried;
+      if lrr then begin
+        incr cur;
+        if !cur >= n then cur := 0
+      end
+      else if !tried = 1 then cur := (if last = 0 then 1 else 0)
+      else begin
+        incr cur;
+        if !cur = last then incr cur
+      end;
       if slot_ready t i ~now then begin
-        match t.slots.(i).warp with
+        match t.warps.(i) with
         | None -> ()
         | Some w ->
-            let u = Warp.peek_unit w in
-            if unit_free t ~now u then begin
+            (* An expired block and ready are indistinguishable to the
+               issue stage; normalizing to ready here keeps this slot in
+               the [n_ready_u] buckets so [scan_worthwhile] can gate on
+               its unit from now on. *)
+            if t.states.(i) = st_blocked then set_state t i st_ready;
+            (* A warp's next instruction is fixed between steps: peek
+               it once and reuse the cached unit on later scans (the
+               repeat [Warp.peek_unit] calls were idempotent). *)
+            let uc =
+              let c = t.slot_unit.(i) in
+              if c <> unit_unknown then c
+              else begin
+                let c = unit_code (Warp.peek_unit w) in
+                set_slot_unit t i c;
+                c
+              end
+            in
+            let free =
+              if uc = 0 then t.sp_busy_until <= now
+              else if uc = 1 then t.sfu_busy_until <= now
+              else Ringbuf.is_empty t.ldst_q && t.ldst_busy_until <= now
+            in
+            if free then begin
               issued := true;
               t.last_issued <- i;
+              set_slot_unit t i unit_unknown;
               t.stats.Stats.warp_insts <- t.stats.Stats.warp_insts + 1;
               t.stats.Stats.thread_insts <-
                 t.stats.Stats.thread_insts + Warp.popcount (Warp.active_mask w);
-              (match u with
-              | Exec.SP -> t.sp_busy_until <- now + 1
-              | Exec.SFU -> t.sfu_busy_until <- now + t.cfg.Config.sfu_initiation
-              | Exec.LDST -> ());
+              if uc = 0 then t.sp_busy_until <- now + 1
+              else if uc = 1 then
+                t.sfu_busy_until <- now + t.cfg.Config.sfu_initiation;
               match Warp.step w with
               | Warp.S_alu Exec.SP ->
-                  t.slots.(i).state <-
-                    W_blocked_until (now + t.cfg.Config.sp_latency)
+                  set_blocked t i ~until:(now + t.cfg.Config.sp_latency)
               | Warp.S_alu Exec.SFU ->
-                  t.slots.(i).state <-
-                    W_blocked_until (now + t.cfg.Config.sfu_latency)
+                  set_blocked t i ~until:(now + t.cfg.Config.sfu_latency)
               | Warp.S_alu Exec.LDST ->
                   Sim_error.error Sim_error.Internal
                     "SM %d slot %d: ALU step reported the LD/ST unit" t.id i
               | Warp.S_mem m -> issue_mem t ~now ~slot_idx:i w m
               | Warp.S_barrier ->
-                  t.slots.(i).state <- W_barrier;
+                  set_state t i st_barrier;
                   check_barrier t (resident_of_slot t i)
-              | Warp.S_exit_partial ->
-                  t.slots.(i).state <- W_blocked_until (now + 1)
+              | Warp.S_exit_partial -> set_blocked t i ~until:(now + 1)
               | Warp.S_exit_warp ->
-                  t.slots.(i).state <- W_done;
+                  set_state t i st_done;
                   let rc = resident_of_slot t i in
                   check_barrier t rc;
                   check_cta_done t rc
@@ -575,55 +734,61 @@ let issue_cycle t ~now =
 let sample_occupancy t ~now =
   if t.sp_busy_until > now then Stats.record_unit_busy t.stats Exec.SP;
   if t.sfu_busy_until > now then Stats.record_unit_busy t.stats Exec.SFU;
-  if (not (Queue.is_empty t.ldst_q)) || t.ldst_busy_until > now then
+  if (not (Ringbuf.is_empty t.ldst_q)) || t.ldst_busy_until > now then
     Stats.record_unit_busy t.stats Exec.LDST
 
+(* Skipped phases are provably no-ops: [process_returns] only acts on
+   an arrived response or a matured local hit, and [ldst_cycle] only on
+   a non-empty queue ([issue_cycle] gates itself on the occupancy
+   counters).  The gates keep the common all-idle SM-cycle down to a
+   handful of reads. *)
 let cycle t ~now ~icnt =
-  process_returns t ~now ~icnt;
-  ldst_cycle t ~now ~icnt;
+  if
+    Icnt.response_arrived icnt ~now ~sm:t.id
+    || not (Ringbuf.is_empty t.hit_pending)
+  then process_returns t ~now ~icnt;
+  if not (Ringbuf.is_empty t.ldst_q) then ldst_cycle t ~now ~icnt;
   issue_cycle t ~now;
   sample_occupancy t ~now
 
+(* Called per step by [Gpu.work_remaining]: the residents check must be
+   a constructor match, not a polymorphic [= []]. *)
 let idle t =
-  t.residents = [] && Queue.is_empty t.ldst_q && Queue.is_empty t.hit_pending
+  (match t.residents with [] -> true | _ :: _ -> false)
+  && Ringbuf.is_empty t.ldst_q
+  && Ringbuf.is_empty t.hit_pending
 
 (* ---- fast-forward contract (see DESIGN) ----
 
-   [next_wake t ~now] is the earliest cycle >= now at which this SM can
-   make progress without an external stimulus (an interconnect response
-   is the interconnect's wake, not ours):
-     - [Some now]  — the SM is active this cycle: a pending LD/ST queue
-       entry (retried every cycle, mutating reservation-fail stats), a
-       ready warp, an expired block, or a matured local hit completion;
-     - [Some c]    — quiescent until [c]: the earliest of the pending
-       block expiries and the L1-hit completion at the queue head
-       (FIFO with a constant latency, so the head is minimal);
-     - [None]      — nothing pending at all; only a response can wake
+   [next_wake t ~now] is the earliest cycle at which this SM can make
+   progress without an external stimulus (an interconnect response is
+   the interconnect's wake, not ours):
+     - a value [<= now] — the SM is active this cycle: a pending LD/ST
+       queue entry (retried every cycle, mutating reservation-fail
+       stats), a ready warp, an expired block, or a matured local hit
+       completion;
+     - [now < c < max_int] — quiescent until [c]: the earliest of the
+       pending block expiries and the L1-hit completion at the queue
+       head (FIFO with a constant latency, so the head is minimal);
+     - [max_int] — nothing pending at all; only a response can wake
        this SM.
-   Busy functional units are deliberately NOT wake sources: a unit
-   freeing up with no ready warp changes nothing, and its per-cycle
-   occupancy samples are reconstructed in batch by [account_idle]. *)
+   The probe is O(1) and allocation-free — it reads the occupancy
+   counters, not the slot table.  Busy functional units are
+   deliberately NOT wake sources: a unit freeing up with no ready warp
+   changes nothing, and its per-cycle occupancy samples are
+   reconstructed in batch by [account_idle]. *)
 let next_wake t ~now =
-  if not (Queue.is_empty t.ldst_q) then Some now
+  if not (Ringbuf.is_empty t.ldst_q) || any_issuable t ~now then now
   else begin
-    let active = ref false in
-    let horizon = ref max_int in
-    let candidate c =
-      if c <= now then active := true else if c < !horizon then horizon := c
-    in
-    Array.iter
-      (fun slot ->
-        match slot.state with
-        | W_ready -> active := true
-        | W_blocked_until c -> candidate c
-        | W_waiting_mem | W_barrier | W_done | W_empty -> ())
-      t.slots;
-    (match Queue.peek_opt t.hit_pending with
-    | Some hc -> candidate hc.hc_ready
-    | None -> ());
-    if !active then Some now
-    else if !horizon = max_int then None
-    else Some !horizon
+    (* any_issuable refreshed blocked_min if it was <= now, so it is
+       now exact: the earliest pending block expiry (max_int when
+       none). *)
+    let horizon = ref (if t.n_blocked > 0 then t.blocked_min else max_int) in
+    if not (Ringbuf.is_empty t.hit_pending) then begin
+      let hc = Ringbuf.peek t.hit_pending in
+      if hc.hc_ready < !horizon then horizon := hc.hc_ready
+    end;
+    !horizon
   end
 
 (* Reconstruct the per-cycle [sample_occupancy] contributions for the
@@ -632,23 +797,26 @@ let next_wake t ~now =
    loop would have taken are the busy-until tails of the three units. *)
 let account_idle t ~now ~until =
   let span busy_until = max 0 (min busy_until until - now) in
-  Stats.record_unit_busy_span t.stats Exec.SP (span t.sp_busy_until);
-  Stats.record_unit_busy_span t.stats Exec.SFU (span t.sfu_busy_until);
-  Stats.record_unit_busy_span t.stats Exec.LDST (span t.ldst_busy_until)
+  let sp = span t.sp_busy_until in
+  if sp > 0 then Stats.record_unit_busy_span t.stats Exec.SP sp;
+  let sfu = span t.sfu_busy_until in
+  if sfu > 0 then Stats.record_unit_busy_span t.stats Exec.SFU sfu;
+  let ld = span t.ldst_busy_until in
+  if ld > 0 then Stats.record_unit_busy_span t.stats Exec.LDST ld
 
 (* (in-flight L1 MSHR entries, LD/ST queue depth) — the per-SM
    occupancy timeline the trace layer samples. *)
-let occupancy_sample t = (Cache.mshr_in_use t.l1, Queue.length t.ldst_q)
+let occupancy_sample t = (Cache.mshr_in_use t.l1, Ringbuf.length t.ldst_q)
 
 (* (cta, warp id, pc) of every warp parked at a barrier — the stall
    watchdog uses this to tell a barrier deadlock from a livelock. *)
 let barrier_waiters t =
   let acc = ref [] in
-  Array.iter
-    (fun slot ->
-      match (slot.state, slot.warp) with
-      | W_barrier, Some w ->
+  for i = 0 to Array.length t.states - 1 do
+    if t.states.(i) = st_barrier then
+      match t.warps.(i) with
+      | Some w ->
           acc := (w.Warp.cta_lin, w.Warp.warp_id, Warp.pc w) :: !acc
-      | _ -> ())
-    t.slots;
+      | None -> ()
+  done;
   List.rev !acc

@@ -29,14 +29,15 @@ val try_launch : t -> Launch.t -> cta_lin:int -> bool
 val cycle : t -> now:int -> icnt:Icnt.t -> unit
 val idle : t -> bool
 
-val next_wake : t -> now:int -> int option
-(** Fast-forward contract: earliest cycle [>= now] at which the SM can
-    make progress without an external stimulus.  [Some now] — active
+val next_wake : t -> now:int -> int
+(** Fast-forward contract: earliest cycle at which the SM can make
+    progress without an external stimulus.  A value [<= now] — active
     this cycle (non-empty LD/ST queue, a ready warp, an expired block,
-    or a matured local hit); [Some c] — quiescent until [c] (earliest
-    block expiry / L1-hit completion); [None] — only an interconnect
-    response can wake it.  Busy functional units are not wake sources;
-    their skipped occupancy samples are restored by {!account_idle}. *)
+    or a matured local hit); [now < c < max_int] — quiescent until [c]
+    (earliest block expiry / L1-hit completion); [max_int] — only an
+    interconnect response can wake it.  O(1) and allocation-free.
+    Busy functional units are not wake sources; their skipped occupancy
+    samples are restored by {!account_idle}. *)
 
 val account_idle : t -> now:int -> until:int -> unit
 (** Batch-account the per-cycle unit-occupancy samples the naive loop
@@ -50,3 +51,4 @@ val occupancy_sample : t -> int * int
 val barrier_waiters : t -> (int * int * int) list
 (** [(cta, warp, pc)] of every warp parked at a barrier; the stall
     watchdog uses this to tell a barrier deadlock from a livelock. *)
+

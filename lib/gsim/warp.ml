@@ -28,12 +28,22 @@ type step_result =
   | S_exit_warp (* all lanes finished *)
 
 (* Access to the memories this warp's CTA can see.  [atomic] returns
-   the old value. *)
+   the old value.  The three backing stores are exposed directly so the
+   per-lane load/store loops can call [Mem.load]/[Mem.store] without an
+   indirect dispatch; the closures remain for the uncommon paths. *)
 type mem_iface = {
   read : space -> dtype -> int -> int64;
   write : space -> dtype -> int -> int64 -> unit;
   atomic : atomop -> dtype -> int -> int64 -> int64;
+  m_global : Mem.t; (* also serves const/tex/param *)
+  m_shared : Mem.t;
+  m_local : Mem.t;
 }
+
+let mem_of_space iface = function
+  | Global | Const | Tex | Param -> iface.m_global
+  | Shared -> iface.m_shared
+  | Local -> iface.m_local
 
 type entry = { mutable spc : int; smask : int; sreconv : int }
 
@@ -41,20 +51,27 @@ type t = {
   warp_id : int; (* index within the CTA *)
   cta_lin : int; (* linearized CTA id *)
   kernel : Ptx.Kernel.t;
+  decode : Decode.t; (* predecoded per-pc tables, shared per launch *)
   env : Exec.env;
   threads : Exec.thread array;
   valid_mask : int; (* lanes that hold real threads *)
   params : (string, int64) Hashtbl.t;
   reconv_of_pc : int array; (* per-branch reconvergence pc, -1 = exit *)
   mem : mem_iface;
+  scratch_addrs : int array; (* reused [mem_op.m_addrs] buffer *)
   mutable stack : entry list;
   mutable warp_insts : int;
   mutable thread_insts : int;
 }
 
 let popcount mask =
-  let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
-  go mask 0
+  let m = ref mask in
+  let acc = ref 0 in
+  while !m <> 0 do
+    m := !m land (!m - 1);
+    incr acc
+  done;
+  !acc
 
 let full_mask n = (1 lsl n) - 1
 
@@ -72,18 +89,20 @@ let reconvergence_table kernel =
       else -1)
     kernel.Ptx.Kernel.body
 
-let create ~warp_id ~cta_lin ~env ~threads ~valid_mask ~params ~reconv_of_pc
-    ~mem kernel =
+let create ~warp_id ~cta_lin ~decode ~env ~threads ~valid_mask ~params
+    ~reconv_of_pc ~mem kernel =
   {
     warp_id;
     cta_lin;
     kernel;
+    decode;
     env;
     threads;
     valid_mask;
     params;
     reconv_of_pc;
     mem;
+    scratch_addrs = Array.make (Array.length threads) (-1);
     stack = [ { spc = 0; smask = valid_mask; sreconv = -1 } ];
     warp_insts = 0;
     thread_insts = 0;
@@ -124,11 +143,17 @@ let exec_branch w e pc guard target =
     match guard with
     | None -> mask
     | Some (polarity, p) ->
-        let m = ref 0 in
-        iter_active mask (fun lane ->
-            if w.threads.(lane).Exec.preds.(p) = polarity then
-              m := !m lor (1 lsl lane));
-        !m
+        let taken = ref 0 in
+        let m = ref mask and lane = ref 0 in
+        while !m <> 0 do
+          if
+            !m land 1 <> 0
+            && w.threads.(!lane).Exec.preds.(p) = polarity
+          then taken := !taken lor (1 lsl !lane);
+          m := !m lsr 1;
+          incr lane
+        done;
+        !taken
   in
   let not_taken = mask land lnot taken_mask in
   let fallthrough = pc + 1 in
@@ -162,12 +187,11 @@ let exec_branch w e pc guard target =
 let rec skip_labels w =
   match w.stack with
   | [] -> ()
-  | e :: _ -> (
-      match w.kernel.Ptx.Kernel.body.(e.spc) with
-      | Ptx.Instr.Label _ ->
-          advance w (e.spc + 1);
-          skip_labels w
-      | _ -> ())
+  | e :: _ ->
+      if w.decode.Decode.is_label.(e.spc) then begin
+        advance w (e.spc + 1);
+        skip_labels w
+      end
 
 (* Functional unit the next instruction will occupy, without executing
    it (used by the SM issue stage for structural-hazard checks). *)
@@ -175,7 +199,7 @@ let peek_unit w =
   skip_labels w;
   match w.stack with
   | [] -> Exec.SP
-  | e :: _ -> Exec.unit_of_instr w.kernel.Ptx.Kernel.body.(e.spc)
+  | e :: _ -> w.decode.Decode.units.(e.spc)
 
 (* Execute one warp instruction.  Assumes the warp is not finished. *)
 let step_unguarded w : step_result =
@@ -199,8 +223,8 @@ let step_unguarded w : step_result =
       | Ptx.Instr.Bar ->
           advance w (pc + 1);
           S_barrier
-      | Ptx.Instr.Bra (guard, l) ->
-          exec_branch w e pc guard (Ptx.Kernel.label_pc w.kernel l);
+      | Ptx.Instr.Bra (guard, _) ->
+          exec_branch w e pc guard w.decode.Decode.bra_target.(pc);
           S_alu Exec.SP
       | Ptx.Instr.Ld_param (d, p) ->
           let v =
@@ -220,29 +244,65 @@ let step_unguarded w : step_result =
           advance w (pc + 1);
           S_alu Exec.SP
       | Ptx.Instr.Ld (sp, ty, d, a) ->
-          let addrs = Array.make (Array.length w.threads) (-1) in
-          iter_active mask (fun lane ->
-              let th = w.threads.(lane) in
-              let addr = Exec.eval_addr w.env th a in
-              addrs.(lane) <- addr;
-              th.Exec.regs.(d) <- w.mem.read sp ty addr);
+          (* [scratch_addrs] is only ever read through [m_mask], so
+             inactive-lane slots may hold stale values.  The common
+             register-base address is specialised to keep the per-lane
+             body free of operand dispatch. *)
+          let addrs = w.scratch_addrs in
+          let mm = mem_of_space w.mem sp in
+          (match a.abase with
+          | Reg r ->
+              let off = a.aoffset in
+              let m = ref mask and lane = ref 0 in
+              while !m <> 0 do
+                (if !m land 1 <> 0 then begin
+                   let th = w.threads.(!lane) in
+                   let addr = Int64.to_int th.Exec.regs.(r) + off in
+                   addrs.(!lane) <- addr;
+                   th.Exec.regs.(d) <- Mem.load mm ty addr
+                 end);
+                m := !m lsr 1;
+                incr lane
+              done
+          | _ ->
+              iter_active mask (fun lane ->
+                  let th = w.threads.(lane) in
+                  let addr = Exec.eval_addr w.env th a in
+                  addrs.(lane) <- addr;
+                  th.Exec.regs.(d) <- Mem.load mm ty addr));
           advance w (pc + 1);
           S_mem
             { m_pc = pc; m_space = sp; m_kind = Load; m_dtype = ty;
               m_mask = mask; m_addrs = addrs }
       | Ptx.Instr.St (sp, ty, a, v) ->
-          let addrs = Array.make (Array.length w.threads) (-1) in
-          iter_active mask (fun lane ->
-              let th = w.threads.(lane) in
-              let addr = Exec.eval_addr w.env th a in
-              addrs.(lane) <- addr;
-              w.mem.write sp ty addr (Exec.eval_operand w.env th v));
+          let addrs = w.scratch_addrs in
+          let mm = mem_of_space w.mem sp in
+          (match (a.abase, v) with
+          | Reg r, Reg rv ->
+              let off = a.aoffset in
+              let m = ref mask and lane = ref 0 in
+              while !m <> 0 do
+                (if !m land 1 <> 0 then begin
+                   let th = w.threads.(!lane) in
+                   let addr = Int64.to_int th.Exec.regs.(r) + off in
+                   addrs.(!lane) <- addr;
+                   Mem.store mm ty addr th.Exec.regs.(rv)
+                 end);
+                m := !m lsr 1;
+                incr lane
+              done
+          | _ ->
+              iter_active mask (fun lane ->
+                  let th = w.threads.(lane) in
+                  let addr = Exec.eval_addr w.env th a in
+                  addrs.(lane) <- addr;
+                  Mem.store mm ty addr (Exec.eval_operand w.env th v)));
           advance w (pc + 1);
           S_mem
             { m_pc = pc; m_space = sp; m_kind = Store; m_dtype = ty;
               m_mask = mask; m_addrs = addrs }
       | Ptx.Instr.Atom (op, ty, d, a, v) ->
-          let addrs = Array.make (Array.length w.threads) (-1) in
+          let addrs = w.scratch_addrs in
           iter_active mask (fun lane ->
               let th = w.threads.(lane) in
               let addr = Exec.eval_addr w.env th a in
@@ -257,10 +317,9 @@ let step_unguarded w : step_result =
       | Ptx.Instr.Fma _ | Ptx.Instr.Funary _ | Ptx.Instr.Cvt _
       | Ptx.Instr.Setp _ | Ptx.Instr.Selp _ | Ptx.Instr.Pnot _
       | Ptx.Instr.Pand _ | Ptx.Instr.Por _ ->
-          iter_active mask (fun lane ->
-              Exec.exec_alu w.env w.threads.(lane) instr);
+          w.decode.Decode.alu.(pc) w.env w.threads mask;
           advance w (pc + 1);
-          S_alu (Exec.unit_of_instr instr))
+          S_alu w.decode.Decode.units.(pc))
 
 (* [step_unguarded] with execution context attached to any simulator
    fault: faulting instructions do not advance the pc, so [pc w] at

@@ -11,7 +11,9 @@ open Ptx.Types
 type mem_kind = Load | Store | Atomic
 
 (** A warp-level memory operation: which lanes were active and the
-    per-lane effective byte addresses. *)
+    per-lane effective byte addresses.  [m_addrs] aliases the warp's
+    reused scratch buffer — consume it before stepping the warp
+    again (both simulators do so in the same call frame). *)
 type mem_op = {
   m_pc : int;
   m_space : space;
@@ -34,18 +36,25 @@ type mem_iface = {
   read : space -> dtype -> int -> int64;
   write : space -> dtype -> int -> int64 -> unit;
   atomic : atomop -> dtype -> int -> int64 -> int64;
+  m_global : Mem.t;  (** also serves const/tex/param *)
+  m_shared : Mem.t;
+  m_local : Mem.t;
 }
 
 type t = {
   warp_id : int;
   cta_lin : int;
   kernel : Ptx.Kernel.t;
+  decode : Decode.t;  (** predecoded per-pc tables, shared per launch *)
   env : Exec.env;
   threads : Exec.thread array;
   valid_mask : int;
   params : (string, int64) Hashtbl.t;
   reconv_of_pc : int array;
   mem : mem_iface;
+  scratch_addrs : int array;
+      (** reused buffer behind [mem_op.m_addrs]: valid only until the
+          next [step] of this warp *)
   mutable stack : entry list;
   mutable warp_insts : int;
   mutable thread_insts : int;
@@ -64,6 +73,7 @@ val reconvergence_table : Ptx.Kernel.t -> int array
 val create :
   warp_id:int ->
   cta_lin:int ->
+  decode:Decode.t ->
   env:Exec.env ->
   threads:Exec.thread array ->
   valid_mask:int ->

@@ -1,0 +1,25 @@
+(* Golden-digest generator for the perf-lock differential suite.
+
+   Runs every app of the suite through the timing simulator at the
+   pinned configuration below and prints one line per app:
+
+     <app> <stats_md5> <profile_md5> <trace_md5>
+
+   The digests cover the full Stats.t JSON document, the Profile.t JSON
+   document, and the complete JSONL trace event stream.  The output is
+   committed as test/goldens/perf_lock.golden; test_perf_lock re-runs
+   the same configuration and asserts byte-identical digests, so any
+   core change that perturbs timing — however slightly — fails loudly.
+
+   Regenerate (only when a timing change is *intended* and reviewed):
+
+     dune exec test/gen_perf_lock.exe > test/goldens/perf_lock.golden *)
+
+let () =
+  List.iter
+    (fun (a : Workloads.App.t) ->
+      let name = a.Workloads.App.name in
+      let d = Perf_lock.digest_app (Workloads.Suite.find name) in
+      Printf.printf "%s %s %s %s\n" name d.Perf_lock.dg_stats
+        d.Perf_lock.dg_profile d.Perf_lock.dg_trace)
+    Workloads.Suite.all

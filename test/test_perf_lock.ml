@@ -1,0 +1,52 @@
+(* Perf-lock differential suite: the core-loop optimizations (decode
+   precompute, flat warp-slot arrays, ring buffers, batched coalescing)
+   must be observably invisible.  Every app of the suite is re-run at
+   the pinned perf-lock configuration and its Stats.t JSON, Profile.t
+   JSON, and full trace event stream digests are compared against the
+   goldens recorded from the pre-optimization core
+   (test/goldens/perf_lock.golden).  A mismatch means a core change
+   perturbed timing — which is either a bug or a deliberate model
+   change that must regenerate the goldens via gen_perf_lock.exe and
+   justify itself in review. *)
+
+let golden_path = "goldens/perf_lock.golden"
+
+let goldens = lazy (Perf_lock.read_golden golden_path)
+
+let check_app name =
+  let want =
+    match List.assoc_opt name (Lazy.force goldens) with
+    | Some d -> d
+    | None -> Alcotest.failf "no golden entry for %s" name
+  in
+  let got = Perf_lock.digest_app (Workloads.Suite.find name) in
+  Alcotest.(check string)
+    (name ^ ": Stats.t JSON digest")
+    want.Perf_lock.dg_stats got.Perf_lock.dg_stats;
+  Alcotest.(check string)
+    (name ^ ": profile JSON digest")
+    want.Perf_lock.dg_profile got.Perf_lock.dg_profile;
+  Alcotest.(check string)
+    (name ^ ": trace stream digest")
+    want.Perf_lock.dg_trace got.Perf_lock.dg_trace
+
+let test_covers_suite () =
+  Alcotest.(check int)
+    "golden file covers the whole suite"
+    (List.length Workloads.Suite.all)
+    (List.length (Lazy.force goldens))
+
+let app_cases =
+  List.map
+    (fun (a : Workloads.App.t) ->
+      let name = a.Workloads.App.name in
+      Alcotest.test_case name `Slow (fun () -> check_app name))
+    Workloads.Suite.all
+
+let () =
+  Alcotest.run "perf_lock"
+    [
+      ( "coverage",
+        [ Alcotest.test_case "suite coverage" `Quick test_covers_suite ] );
+      ("byte-identity", app_cases);
+    ]
