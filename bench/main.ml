@@ -13,10 +13,15 @@
    main.exe --jobs 8 sweep   parallel timing sweep of all 15 apps
                              (forked workers; writes sweep.json under
                              --out, table rendered from the JSON)
+   main.exe --policies baseline,iar,holistic sweep
+                             same sweep under each memory-system
+                             policy (policy column in the table)
+   main.exe policies         policy comparison table: speedup and
+                             reservation-fail deltas vs baseline
 
    Experiment ids: table1 table2 table3 fig1..fig12 ablate-split
    ablate-cta ablate-l2 ablate-prefetch ablate-bypass ablate-warpsched
-   ablate-advisor sensitivity micro sweep all *)
+   ablate-advisor sensitivity micro sweep perf policies all *)
 
 module E = Critload.Experiments
 
@@ -52,16 +57,23 @@ let experiments scale : (string * (unit -> string)) list =
 (* Runs every app through the cycle simulator across forked workers and
    renders the summary table from the JSON that crossed the process
    boundary — the same schema `critload sweep` writes to disk. *)
-let sweep ~jobs ~scale ~out_dir () =
+let sweep ~jobs ~scale ~out_dir ~policies () =
   let module P = Critload.Parsweep in
   let apps =
     List.map (fun (a : Workloads.App.t) -> a.Workloads.App.name)
       Workloads.Suite.all
   in
   let cfg = E.timing_cfg () in
-  let job_list =
-    P.jobs ~apps ~scales:[ scale ] ~cfgs:[ ("base", cfg) ] ()
+  let policies =
+    match policies with [] -> [ Gsim.Config.Baseline ] | ps -> ps
   in
+  let cfgs =
+    List.map
+      (fun p ->
+        (Gsim.Config.policy_name p, cfg |> Gsim.Config.with_policy p))
+      policies
+  in
+  let job_list = P.jobs ~apps ~scales:[ scale ] ~cfgs () in
   let on_event = function
     | P.Finished (j, dt) ->
         Printf.eprintf "sweep: %s done in %.1fs\n%!" j.P.sj_app dt
@@ -80,14 +92,16 @@ let sweep ~jobs ~scale ~out_dir () =
   let buf = Buffer.create 1024 in
   let truncated = ref 0 in
   Buffer.add_string buf
-    (Printf.sprintf "%-6s %10s %10s %8s %8s %8s %8s %8s %8s\n" "app" "cycles"
-       "warpinsts" "req/w N" "req/w D" "L1m% N" "L1m% D" "turn N" "turn D");
+    (Printf.sprintf "%-6s %-9s %10s %10s %8s %8s %8s %8s %8s %8s\n" "app"
+       "policy" "cycles" "warpinsts" "req/w N" "req/w D" "L1m% N" "L1m% D"
+       "turn N" "turn D");
   List.iteri
     (fun i (j : P.job) ->
       match outcomes.(i) with
       | P.Failed msg ->
           Buffer.add_string buf
-            (Printf.sprintf "%-6s FAILED: %s\n" j.P.sj_app msg)
+            (Printf.sprintf "%-6s %-9s FAILED: %s\n" j.P.sj_app j.P.sj_label
+               msg)
       | P.Completed payload ->
           let t = P.timing_summary_of_json payload in
           let s = t.P.tm_stats in
@@ -95,8 +109,9 @@ let sweep ~jobs ~scale ~out_dir () =
           let open Dataflow.Classify in
           Buffer.add_string buf
             (Printf.sprintf
-               "%-6s %10d %10d %8.2f %8.2f %8.1f %8.1f %8.0f %8.0f%s\n"
-               j.P.sj_app s.Gsim.Stats.cycles s.Gsim.Stats.warp_insts
+               "%-6s %-9s %10d %10d %8.2f %8.2f %8.1f %8.1f %8.0f %8.0f%s\n"
+               j.P.sj_app j.P.sj_label s.Gsim.Stats.cycles
+               s.Gsim.Stats.warp_insts
                (Gsim.Stats.requests_per_warp s Nondeterministic)
                (Gsim.Stats.requests_per_warp s Deterministic)
                (100. *. Gsim.Stats.l1_miss_ratio s Nondeterministic)
@@ -121,6 +136,54 @@ let sweep ~jobs ~scale ~out_dir () =
       output_char oc '\n';
       close_out oc);
   Buffer.contents buf
+
+(* ---- memory-system policy comparison ----
+
+   `main.exe policies` sweeps every app under each policy through the
+   cached parallel runner with profiling on, and renders speedup and
+   per-class reservation-fail deltas against the baseline rows.
+   `--out DIR` additionally writes policies.json
+   (critload-bench-policies-v1), the per-policy record BENCH_*.json
+   embeds. *)
+
+let policy_rows_json ~scale rows =
+  let module J = Gsim.Stats_io.Json in
+  J.Obj
+    [
+      ("schema", J.Str "critload-bench-policies-v1");
+      ("scale", J.Str (Workloads.App.string_of_scale scale));
+      ( "rows",
+        J.Arr
+          (List.map
+             (fun (r : E.policy_row) ->
+               J.Obj
+                 [
+                   ("app", J.Str r.E.po_app);
+                   ("category", J.Str r.E.po_category);
+                   ("policy", J.Str r.E.po_policy);
+                   ("cycles", J.Int r.E.po_cycles);
+                   ("speedup", J.Float r.E.po_speedup);
+                   ("l1_fail_cycles_d", J.Int r.E.po_fail_d);
+                   ("l1_fail_cycles_n", J.Int r.E.po_fail_n);
+                   ("n_fail_delta", J.Float r.E.po_fail_n_delta);
+                 ])
+             rows) );
+    ]
+
+let policy_bench ~jobs ~scale ~out_dir ~policies () =
+  let policies =
+    match policies with [] -> E.default_policies | ps -> ps
+  in
+  let rows = E.policy_sweep ~policies ~workers:jobs scale in
+  (match out_dir with
+  | None -> ()
+  | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      let oc = open_out (Filename.concat dir "policies.json") in
+      Gsim.Stats_io.Json.to_channel oc (policy_rows_json ~scale rows);
+      output_char oc '\n';
+      close_out oc);
+  E.render_policy_rows rows
 
 (* ---- repeated-rounds single-sim perf harness (luamark shape) ----
 
@@ -151,11 +214,14 @@ let perf_row ~rounds ~cfg ~scale (app : Workloads.App.t) =
   for r = 0 to rounds - 1 do
     let t0 = Unix.gettimeofday () in
     let res =
-      Critload.Runner.run_timing ~cfg ~warmup:false ~fast_forward:true app
-        scale
+      match
+        Critload.Runner.run ~cfg ~scale ~warmup:false ~fast_forward:true app
+      with
+      | Ok rep -> rep
+      | Error e -> failwith (Gsim.Sim_error.to_string e)
     in
     wall.(r) <- Unix.gettimeofday () -. t0;
-    let s = res.Critload.Runner.tr_stats in
+    let s = Critload.Runner.Report.stats_exn res in
     cycles := s.Gsim.Stats.cycles;
     warp_insts := s.Gsim.Stats.warp_insts
   done;
@@ -335,6 +401,7 @@ let () =
   let jobs = ref 4 in
   let rounds = ref 5 in
   let only = ref [] in
+  let policies = ref [] in
   let selected = ref [] in
   let rec parse = function
     | [] -> ()
@@ -356,6 +423,15 @@ let () =
     | "--only" :: apps :: rest ->
         only := String.split_on_char ',' apps;
         parse rest
+    | "--policies" :: names :: rest ->
+        policies :=
+          List.map
+            (fun n ->
+              match Gsim.Config.policy_of_string n with
+              | Ok p -> p
+              | Error msg -> failwith msg)
+            (String.split_on_char ',' names);
+        parse rest
     | "--version" :: _ ->
         print_endline Critload.Version.version;
         exit 0
@@ -376,17 +452,25 @@ let () =
         (fun name ->
           if name = "micro" then (name, fun () -> "")
           else if name = "sweep" then
-            (name, sweep ~jobs:!jobs ~scale:!scale ~out_dir:!out_dir)
+            ( name,
+              sweep ~jobs:!jobs ~scale:!scale ~out_dir:!out_dir
+                ~policies:!policies )
           else if name = "perf" then
             (name, perf ~rounds:!rounds ~scale:!scale ~out_dir:!out_dir
                      ~only:!only)
+          else if name = "policies" then
+            ( name,
+              policy_bench ~jobs:!jobs ~scale:!scale ~out_dir:!out_dir
+                ~policies:!policies )
           else
             match List.assoc_opt name exps with
             | Some f -> (name, f)
             | None ->
                 failwith
                   (Printf.sprintf
-                     "unknown experiment %s (have: %s, micro, sweep, perf)" name
+                     "unknown experiment %s (have: %s, micro, sweep, perf, \
+                      policies)"
+                     name
                      (String.concat ", " (List.map fst exps)))
         )
         selected

@@ -78,6 +78,42 @@ let format_arg ~alts ~default ~doc =
 let kernel_arg ~doc =
   Arg.(value & opt (some string) None & info [ "kernel" ] ~docv:"K" ~doc)
 
+let policy_doc =
+  "Memory-system policy: $(b,baseline), $(b,iar) (a small reorder unit \
+   batches same-line non-deterministic loads before the L1), or \
+   $(b,holistic) (bypass streaming loads, protect non-deterministic \
+   lines, throttle CTAs under reservation-fail pressure)."
+
+let policy_conv =
+  Arg.conv
+    ( (fun s ->
+        match Gsim.Config.policy_of_string s with
+        | Ok p -> Ok p
+        | Error msg -> Error (`Msg msg)),
+      fun ppf p -> Format.pp_print_string ppf (Gsim.Config.policy_name p) )
+
+let policy_arg =
+  Arg.(
+    value
+    & opt policy_conv Gsim.Config.Baseline
+    & info [ "policy" ] ~docv:"POLICY" ~doc:policy_doc)
+
+(* Sweeping subcommands accept the flag repeatedly: one config per
+   policy, labelled by the policy name. *)
+let policies_arg =
+  Arg.(
+    value & opt_all policy_conv []
+    & info [ "policy" ] ~docv:"POLICY"
+        ~doc:(policy_doc ^ "  Repeatable; default baseline only."))
+
+let policy_cfgs ~cfg policies =
+  let policies =
+    match policies with [] -> [ Gsim.Config.Baseline ] | l -> l
+  in
+  List.map
+    (fun p -> (Gsim.Config.policy_name p, cfg |> Gsim.Config.with_policy p))
+    policies
+
 let no_fast_forward_arg =
   Arg.(
     value & flag
@@ -294,8 +330,10 @@ let characterize_cmd =
   let run name scale =
     let app = find_app ~cmd:"characterize" name in
     let r =
-      match Critload.Runner.run_func_result ~check:false app scale with
-      | Ok r -> r
+      match
+        Critload.Runner.run ~mode:Critload.Runner.Func ~scale ~check:false app
+      with
+      | Ok r -> Critload.Runner.Report.func_exn r
       | Error e ->
           Printf.eprintf "characterize: %s\n" (Gsim.Sim_error.to_string e);
           exit EC.sim_error
@@ -404,10 +442,12 @@ let advise_cmd =
 (* ---- simulate (cycle-level) ---- *)
 
 let simulate_cmd =
-  let run name scale cap no_ff =
+  let run name scale cap policy no_ff =
     let app = find_app ~cmd:"simulate" name in
     let cfg =
-      Gsim.Config.default |> Gsim.Config.with_caps ~max_warp_insts:cap ()
+      Gsim.Config.default
+      |> Gsim.Config.with_caps ~max_warp_insts:cap ()
+      |> Gsim.Config.with_policy policy
     in
     let report =
       match
@@ -453,15 +493,19 @@ let simulate_cmd =
   in
       Cmd.v
       (cmd_info "simulate" ~doc:"Cycle-level simulation of one application.")
-    Term.(const run $ app_arg $ scale_arg $ cap_arg $ no_fast_forward_arg)
+    Term.(
+      const run $ app_arg $ scale_arg $ cap_arg $ policy_arg
+      $ no_fast_forward_arg)
 
 (* ---- trace (cycle-level observability) ---- *)
 
 let trace_cmd =
-  let run name scale cap kernel format out no_ff =
+  let run name scale cap policy kernel format out no_ff =
     let app = find_app ~cmd:"trace" name in
     let cfg =
-      Gsim.Config.default |> Gsim.Config.with_caps ~max_warp_insts:cap ()
+      Gsim.Config.default
+      |> Gsim.Config.with_caps ~max_warp_insts:cap ()
+      |> Gsim.Config.with_policy policy
     in
     let with_out f =
       match out with
@@ -524,16 +568,16 @@ let trace_cmd =
           per-load-category latency histograms and fail attribution \
           (summary), or the raw event stream (jsonl / chrome).")
     Term.(
-      const run $ app_arg $ scale_arg $ cap_arg $ kernel $ format $ out
-      $ no_fast_forward_arg)
+      const run $ app_arg $ scale_arg $ cap_arg $ policy_arg $ kernel
+      $ format $ out $ no_fast_forward_arg)
 
 (* ---- sweep (parallel, JSON export) ---- *)
 
 let sweep_cmd =
   let module P = Critload.Parsweep in
   let module Json = Gsim.Stats_io.Json in
-  let run apps scale cap jobs timeout func no_warmup profile out resume
-      format no_cache cache_dir no_ff =
+  let run apps scale cap policies jobs timeout func no_warmup profile out
+      resume format no_cache cache_dir no_ff =
     let apps =
       match apps with
       | [] -> List.map (fun (a : Workloads.App.t) -> a.Workloads.App.name)
@@ -554,7 +598,7 @@ let sweep_cmd =
     in
     let mode = if func then P.Func else P.Timing in
     let job_list =
-      P.jobs ~apps ~scales:[ scale ] ~cfgs:[ ("base", cfg) ] ~mode
+      P.jobs ~apps ~scales:[ scale ] ~cfgs:(policy_cfgs ~cfg policies) ~mode
         ~warmup:(not no_warmup) ~profile ~fast_forward:(not no_ff) ()
     in
     let total = List.length job_list in
@@ -774,9 +818,9 @@ let sweep_cmd =
          "Run many applications through the simulator in parallel worker \
           processes and export every per-app statistic as JSON.")
     Term.(
-      const run $ apps $ scale_arg $ cap_arg $ jobs $ timeout $ func
-      $ no_warmup $ profile $ out $ resume $ format $ no_cache $ cache_dir
-      $ no_fast_forward_arg)
+      const run $ apps $ scale_arg $ cap_arg $ policies_arg $ jobs $ timeout
+      $ func $ no_warmup $ profile $ out $ resume $ format $ no_cache
+      $ cache_dir $ no_fast_forward_arg)
 
 (* ---- serve (long-running sweep daemon) ---- *)
 
@@ -883,7 +927,8 @@ let submit_cmd =
   let module Pr = Critload.Protocol in
   let module Json = Gsim.Stats_io.Json in
   let module F = Gsim.Stats_io.Framing in
-  let run socket apps scale cap func no_warmup profile no_ff out format
+  let run socket apps scale cap policies func no_warmup profile no_ff out
+      format
       retries wait health_only =
     let fd =
       let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -963,8 +1008,9 @@ let submit_cmd =
       in
       let mode = if func then P.Func else P.Timing in
       let job_list =
-        P.jobs ~apps ~scales:[ scale ] ~cfgs:[ ("base", cfg) ] ~mode
-          ~warmup:(not no_warmup) ~profile ~fast_forward:(not no_ff) ()
+        P.jobs ~apps ~scales:[ scale ] ~cfgs:(policy_cfgs ~cfg policies)
+          ~mode ~warmup:(not no_warmup) ~profile
+          ~fast_forward:(not no_ff) ()
       in
       let jobs_a = Array.of_list job_list in
       let n = Array.length jobs_a in
@@ -1123,9 +1169,9 @@ let submit_cmd =
          "Submit sweep jobs to a running `critload serve` daemon and \
           write the same JSON document `critload sweep` would.")
     Term.(
-      const run $ socket_arg $ apps $ scale_arg $ cap_arg $ func
-      $ no_warmup $ profile $ no_fast_forward_arg $ out $ format $ retries
-      $ wait $ health_only)
+      const run $ socket_arg $ apps $ scale_arg $ cap_arg $ policies_arg
+      $ func $ no_warmup $ profile $ no_fast_forward_arg $ out $ format
+      $ retries $ wait $ health_only)
 
 let () =
   let doc =

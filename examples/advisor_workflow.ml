@@ -6,8 +6,12 @@
    e.g. dune exec examples/advisor_workflow.exe -- spmv 80000 *)
 
 let run_variant app scale cfg name =
-  let r = Critload.Runner.run_timing ~cfg app scale in
-  let s = r.Critload.Runner.tr_stats in
+  let r =
+    match Critload.Runner.run ~cfg ~scale app with
+    | Ok r -> r
+    | Error e -> failwith (Gsim.Sim_error.to_string e)
+  in
+  let s = Critload.Runner.Report.stats_exn r in
   let open Dataflow.Classify in
   Printf.printf
     "%-9s cycles=%-8d  N: L1 miss %4.1f%%  turnaround %6.1f   rsrv-fail \

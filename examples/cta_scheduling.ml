@@ -10,8 +10,12 @@ let run_variant app scale sched name =
     |> Gsim.Config.with_cta_sched sched
     |> Gsim.Config.with_caps ~max_warp_insts:150_000 ()
   in
-  let r = Critload.Runner.run_timing ~cfg app scale in
-  let s = r.Critload.Runner.tr_stats in
+  let r =
+    match Critload.Runner.run ~cfg ~scale app with
+    | Ok r -> r
+    | Error e -> failwith (Gsim.Sim_error.to_string e)
+  in
+  let s = Critload.Runner.Report.stats_exn r in
   let open Dataflow.Classify in
   Printf.printf
     "%-12s cycles=%-9d L1 miss: N=%4.1f%% D=%4.1f%%  turnaround: N=%.0f \

@@ -34,7 +34,14 @@ let () =
   done;
 
   (* dynamic behaviour: functional run with locality analysis *)
-  let fr = Critload.Runner.run_func ~max_warp_insts:2_000_000 app scale in
+  let fr =
+    match
+      Critload.Runner.run ~mode:Critload.Runner.Func ~scale
+        ~func_cap:2_000_000 app
+    with
+    | Ok r -> Critload.Runner.Report.func_exn r
+    | Error e -> failwith (Gsim.Sim_error.to_string e)
+  in
   let fs = fr.Critload.Runner.fr_fs in
   let open Dataflow.Classify in
   Printf.printf "\ndynamic global load warps: D = %d, N = %d\n"
@@ -64,8 +71,12 @@ let () =
 
   (* timing behaviour *)
   let cfg = Gsim.Config.default |> Gsim.Config.with_caps ~max_warp_insts:150_000 () in
-  let tr = Critload.Runner.run_timing ~cfg app scale in
-  let st = tr.Critload.Runner.tr_stats in
+  let tr =
+    match Critload.Runner.run ~cfg ~scale app with
+    | Ok r -> r
+    | Error e -> failwith (Gsim.Sim_error.to_string e)
+  in
+  let st = Critload.Runner.Report.stats_exn tr in
   Printf.printf "\ncycle sim (capped): %d cycles\n" st.Gsim.Stats.cycles;
   Printf.printf "avg turnaround: N = %.0f vs D = %.0f cycles\n"
     (Gsim.Stats.avg_turnaround st Nondeterministic)

@@ -29,6 +29,10 @@ let timing_cfg ?(cfg = Config.default) ?max_warp_insts () =
 
 let all_apps = Suite.all
 
+(* Experiments are exploratory drivers for the tests and the bench
+   harness, which want a simulator failure as the exception it was. *)
+let ok = function Ok r -> r | Error e -> raise (Gsim.Sim_error.Error e)
+
 (* Cache of functional runs (several figures share them). *)
 let func_results : (string * App.scale, Runner.func_result) Hashtbl.t =
   Hashtbl.create 16
@@ -38,23 +42,26 @@ let func_result ?(check = false) scale app =
   match Hashtbl.find_opt func_results key with
   | Some r -> r
   | None ->
-      let r = Runner.run_func ~max_warp_insts:func_cap ~check app scale in
+      let r =
+        Runner.Report.func_exn
+          (ok (Runner.run ~mode:Runner.Func ~scale ~check ~func_cap app))
+      in
       Hashtbl.add func_results key r;
       r
 
-let timing_results : (string * App.scale, Runner.timing_result) Hashtbl.t =
+let timing_reports : (string * App.scale, Runner.Report.t) Hashtbl.t =
   Hashtbl.create 16
 
-let timing_result ?cfg scale app =
+let timing_report ?cfg scale app =
   match cfg with
-  | Some cfg -> Runner.run_timing ~cfg app scale
+  | Some cfg -> ok (Runner.run ~cfg ~scale app)
   | None -> (
       let key = (app.App.name, scale) in
-      match Hashtbl.find_opt timing_results key with
+      match Hashtbl.find_opt timing_reports key with
       | Some r -> r
       | None ->
-          let r = Runner.run_timing ~cfg:(timing_cfg ()) app scale in
-          Hashtbl.add timing_results key r;
+          let r = ok (Runner.run ~cfg:(timing_cfg ()) ~scale app) in
+          Hashtbl.add timing_reports key r;
           r)
 
 (* ---------------- Table I ---------------- *)
@@ -179,11 +186,11 @@ type fig2_row = {
 let fig2 scale =
   List.map
     (fun app ->
-      let r = timing_result scale app in
+      let r = timing_report scale app in
       {
         f2_name = app.App.name;
-        f2_req_per_warp = Stats.requests_per_warp r.Runner.tr_stats;
-        f2_req_per_thread = Stats.requests_per_active_thread r.Runner.tr_stats;
+        f2_req_per_warp = Stats.requests_per_warp (Runner.Report.stats_exn r);
+        f2_req_per_thread = Stats.requests_per_active_thread (Runner.Report.stats_exn r);
       })
     all_apps
 
@@ -205,8 +212,8 @@ let render_fig2 scale =
 (* ---------------- Fig 3 ---------------- *)
 
 let fig3 scale app =
-  let r = timing_result scale app in
-  Stats.l1_cycle_breakdown r.Runner.tr_stats
+  let r = timing_report scale app in
+  Stats.l1_cycle_breakdown (Runner.Report.stats_exn r)
 
 let render_fig3 scale =
   Tables.render
@@ -223,11 +230,11 @@ let render_fig3 scale =
 (* ---------------- Fig 4 ---------------- *)
 
 let fig4 scale app =
-  let r = timing_result scale app in
-  let n_sms = r.Runner.tr_cfg.Config.n_sms in
-  ( Stats.unit_busy_fraction r.Runner.tr_stats ~n_sms Gsim.Exec.SP,
-    Stats.unit_busy_fraction r.Runner.tr_stats ~n_sms Gsim.Exec.SFU,
-    Stats.unit_busy_fraction r.Runner.tr_stats ~n_sms Gsim.Exec.LDST )
+  let r = timing_report scale app in
+  let n_sms = r.Runner.Report.cfg.Config.n_sms in
+  ( Stats.unit_busy_fraction (Runner.Report.stats_exn r) ~n_sms Gsim.Exec.SP,
+    Stats.unit_busy_fraction (Runner.Report.stats_exn r) ~n_sms Gsim.Exec.SFU,
+    Stats.unit_busy_fraction (Runner.Report.stats_exn r) ~n_sms Gsim.Exec.LDST )
 
 let render_fig4 scale =
   Tables.render
@@ -242,9 +249,9 @@ let render_fig4 scale =
 (* ---------------- Fig 5 ---------------- *)
 
 let fig5 scale app =
-  let r = timing_result scale app in
-  ( Stats.turnaround_breakdown r.Runner.tr_stats Nondeterministic,
-    Stats.turnaround_breakdown r.Runner.tr_stats Deterministic )
+  let r = timing_report scale app in
+  ( Stats.turnaround_breakdown (Runner.Report.stats_exn r) Nondeterministic,
+    Stats.turnaround_breakdown (Runner.Report.stats_exn r) Deterministic )
 
 let render_fig5 scale =
   Tables.render
@@ -311,10 +318,10 @@ let fig6 scale =
   List.concat_map
     (fun name ->
       let app = Suite.find name in
-      let r = timing_result scale app in
+      let r = timing_report scale app in
       List.filter_map
         (fun cls ->
-          Option.map (series_of_pc app) (hottest_pc r.Runner.tr_stats cls))
+          Option.map (series_of_pc app) (hottest_pc (Runner.Report.stats_exn r) cls))
         [ Nondeterministic; Deterministic ])
     [ "bfs"; "sssp"; "spmv" ]
 
@@ -348,8 +355,8 @@ type fig7_row = {
 
 let fig7 scale =
   let app = Suite.find "bfs" in
-  let r = timing_result scale app in
-  match hottest_pc r.Runner.tr_stats Nondeterministic with
+  let r = timing_report scale app in
+  match hottest_pc (Runner.Report.stats_exn r) Nondeterministic with
   | None -> ((" none", 0), [])
   | Some ps ->
       ( (ps.Stats.ps_kernel, ps.Stats.ps_pc),
@@ -388,8 +395,8 @@ let render_fig7 scale =
 (* ---------------- Fig 8 ---------------- *)
 
 let fig8 scale app =
-  let r = timing_result scale app in
-  let s = r.Runner.tr_stats in
+  let r = timing_report scale app in
+  let s = (Runner.Report.stats_exn r) in
   ( (Stats.l1_miss_ratio s Nondeterministic, Stats.l2_miss_ratio s Nondeterministic),
     (Stats.l1_miss_ratio s Deterministic, Stats.l2_miss_ratio s Deterministic) )
 
@@ -536,8 +543,8 @@ type ablation_row = {
 }
 
 let ablation_run scale app cfg variant =
-  let r = Runner.run_timing ~cfg app scale in
-  let s = r.Runner.tr_stats in
+  let r = ok (Runner.run ~cfg ~scale app) in
+  let s = (Runner.Report.stats_exn r) in
   let b = Stats.l1_cycle_breakdown s in
   {
     ab_app = app.App.name;
@@ -682,8 +689,8 @@ let ablate_l2 scale =
       List.map
         (fun (k, name) ->
           let cfg = timing_cfg () |> Config.with_l2_cluster k in
-          let r = Runner.run_timing ~cfg app scale in
-          let s = r.Runner.tr_stats in
+          let r = ok (Runner.run ~cfg ~scale app) in
+          let s = (Runner.Report.stats_exn r) in
           ( app.App.name,
             name,
             s.Stats.cycles,
@@ -700,3 +707,104 @@ let render_ablate_l2 scale =
        (fun (app, v, cycles, miss, turn) ->
          [ app; v; Tables.int cycles; Tables.pct miss; Tables.f1 turn ])
        (ablate_l2 scale))
+
+(* ---------------- memory-system policy sweep ---------------- *)
+
+(* The tentpole comparison: every app under every first-class policy,
+   run through the cached parallel sweep runner with profiling on, so
+   the per-class reservation-fail cycles (the paper's Fig 3 wasted
+   cycles, split D/N by the profile reducer) can be compared against
+   the baseline next to the raw speedup. *)
+
+type policy_row = {
+  po_app : string;
+  po_category : string;
+  po_policy : string;
+  po_cycles : int;
+  po_speedup : float; (* baseline cycles / policy cycles; 1.0 = baseline *)
+  po_fail_d : int; (* D-class L1 reservation-fail probe cycles *)
+  po_fail_n : int;
+  po_fail_n_delta : float; (* relative N-fail change vs baseline *)
+}
+
+let default_policies =
+  [ Config.Baseline; Config.Iar Config.default_iar;
+    Config.Holistic Config.default_holistic ]
+
+let policy_sweep ?(policies = default_policies) ?(workers = 4) ?cache_dir
+    scale =
+  let module P = Parsweep in
+  let cfg = timing_cfg () in
+  let cfgs =
+    List.map
+      (fun p -> (Config.policy_name p, cfg |> Config.with_policy p))
+      policies
+  in
+  let apps = List.map (fun (a : App.t) -> a.App.name) all_apps in
+  let job_list =
+    P.jobs ~apps ~scales:[ scale ] ~cfgs ~profile:true ()
+  in
+  let outcomes = P.run ~workers ?cache_dir job_list in
+  let class_fails (tm : P.timing_summary) i =
+    match tm.P.tm_profile with
+    | Some p -> Array.fold_left ( + ) 0 p.Gsim.Profile.per_class.(i).Gsim.Profile.cp_l1_fail
+    | None -> 0
+  in
+  let decoded =
+    List.concat
+      (List.mapi
+         (fun i (j : P.job) ->
+           match outcomes.(i) with
+           | P.Failed _ -> []
+           | P.Completed payload ->
+               [ (j, P.timing_summary_of_json payload) ])
+         job_list)
+  in
+  let baseline app =
+    List.find_opt
+      (fun ((j : P.job), _) -> j.P.sj_app = app && j.P.sj_label = "baseline")
+      decoded
+  in
+  List.map
+    (fun ((j : P.job), tm) ->
+      let cycles = tm.P.tm_stats.Stats.cycles in
+      let fail_n = class_fails tm (Stats.cls_index Nondeterministic) in
+      let speedup, fail_n_delta =
+        match baseline j.P.sj_app with
+        | Some (_, base) ->
+            let bc = base.P.tm_stats.Stats.cycles in
+            let bf = class_fails base (Stats.cls_index Nondeterministic) in
+            ( (if cycles = 0 then 1.0
+               else float_of_int bc /. float_of_int cycles),
+              float_of_int (fail_n - bf) /. float_of_int (max 1 bf) )
+        | None -> (1.0, 0.0)
+      in
+      {
+        po_app = j.P.sj_app;
+        po_category = cat_name (Suite.find j.P.sj_app).App.category;
+        po_policy = j.P.sj_label;
+        po_cycles = cycles;
+        po_speedup = speedup;
+        po_fail_d = class_fails tm (Stats.cls_index Deterministic);
+        po_fail_n = fail_n;
+        po_fail_n_delta = fail_n_delta;
+      })
+    decoded
+
+let render_policy_rows rows =
+  Tables.render
+    ~title:
+      "Memory-system policies: cycles, speedup over baseline, and \
+       L1 reservation-fail cycles by load class"
+    ~header:
+      [ "app"; "cat"; "policy"; "cycles"; "speedup"; "D fails"; "N fails";
+        "N-fail delta" ]
+    (List.map
+       (fun r ->
+         [ r.po_app; r.po_category; r.po_policy; Tables.int r.po_cycles;
+           Tables.f2 r.po_speedup; Tables.int r.po_fail_d;
+           Tables.int r.po_fail_n; Tables.pct r.po_fail_n_delta ])
+       rows)
+
+let render_policy_sweep ?policies ?workers ?cache_dir scale =
+  render_policy_rows (policy_sweep ?policies ?workers ?cache_dir scale)

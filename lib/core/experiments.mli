@@ -21,9 +21,9 @@ val func_result :
   Runner.func_result
 (** Cached functional run (several figures share them). *)
 
-val timing_result :
+val timing_report :
   ?cfg:Gsim.Config.t -> Workloads.App.scale -> Workloads.App.t ->
-  Runner.timing_result
+  Runner.Report.t
 (** Cached timing run (cache bypassed when [cfg] is supplied). *)
 
 (** {1 Table I — application characteristics} *)
@@ -189,3 +189,48 @@ val ablate_l2 :
   Workloads.App.scale -> (string * string * int * float * float) list
 
 val render_ablate_l2 : Workloads.App.scale -> string
+
+(** {1 Memory-system policy sweep}
+
+    Every app under every first-class {!Gsim.Config.policy}, run
+    through the cached parallel sweep runner ({!Parsweep}) with
+    profiling on.  Speedup is baseline cycles over the policy's
+    cycles; the D/N reservation-fail columns count L1 probe cycles
+    lost to reservation failures per load class (the profile
+    reducer's [cp_l1_fail] totals), with the N-class change relative
+    to baseline. *)
+
+type policy_row = {
+  po_app : string;
+  po_category : string;
+  po_policy : string;
+  po_cycles : int;
+  po_speedup : float;
+  po_fail_d : int;
+  po_fail_n : int;
+  po_fail_n_delta : float;
+}
+
+val default_policies : Gsim.Config.policy list
+(** Baseline, IAR, and holistic with their default parameters. *)
+
+val policy_sweep :
+  ?policies:Gsim.Config.policy list ->
+  ?workers:int ->
+  ?cache_dir:string ->
+  Workloads.App.scale ->
+  policy_row list
+(** Rows ordered app-major then policy; jobs that failed in the pool
+    are dropped (speedup falls back to 1.0 when an app's baseline row
+    is missing). *)
+
+val render_policy_rows : policy_row list -> string
+(** Table rendering of already-computed rows (the bench harness runs
+    the sweep once and feeds both the table and its JSON export). *)
+
+val render_policy_sweep :
+  ?policies:Gsim.Config.policy list ->
+  ?workers:int ->
+  ?cache_dir:string ->
+  Workloads.App.scale ->
+  string

@@ -260,11 +260,6 @@ type timing_summary = {
   tm_profile : Gsim.Profile.t option;
 }
 
-let timing_summary ?profile (r : Runner.timing_result) =
-  { tm_launches = r.Runner.tr_launches;
-    tm_stats = r.Runner.tr_stats;
-    tm_profile = profile }
-
 let timing_summary_to_json t =
   Json.Obj
     ([ ("launches", Json.Int t.tm_launches);

@@ -144,7 +144,6 @@ type timing_summary = {
   tm_profile : Gsim.Profile.t option;
 }
 
-val timing_summary : ?profile:Gsim.Profile.t -> Runner.timing_result -> timing_summary
 val timing_summary_to_json : timing_summary -> Gsim.Stats_io.Json.t
 
 val timing_summary_of_json : Gsim.Stats_io.Json.t -> timing_summary

@@ -4,8 +4,8 @@
    distinct kernel.
 
    The unified entry point is [run], which returns a [Report.t] for
-   either simulation mode; the mode-specific entry points below it are
-   retained as thin compatibility aliases. *)
+   either simulation mode; [run_func] and [run_timing] below are the
+   mode-specific machinery it drives, private to this module. *)
 
 type mode = Func | Timing
 
@@ -166,12 +166,6 @@ let catching f =
   | Ptx.Parse.Error msg ->
       Error (Gsim.Sim_error.make Gsim.Sim_error.Invalid_kernel "%s" msg)
 
-let run_func_result ?cfg ?max_warp_insts ?check app scale =
-  catching (fun () -> run_func ?cfg ?max_warp_insts ?check app scale)
-
-let run_timing_result ?cfg ?warmup ?trace ?trace_kernel app scale =
-  catching (fun () -> run_timing ?cfg ?warmup ?trace ?trace_kernel app scale)
-
 (* The unified report: one result shape for both simulation modes, so
    callers (CLI subcommands, the sweep runner, benches) branch on the
    mode they asked for instead of juggling two entry points with
@@ -210,16 +204,17 @@ let tee_trace a b =
       Gsim.Trace.emit b ev)
 
 let run ?(cfg = Gsim.Config.default) ?(mode = Timing)
-    ?(scale = Workloads.App.Default) ?(warmup = true) ?(check = true) ?trace
-    ?trace_kernel ?(profile = false) ?(fast_forward = true)
-    (app : Workloads.App.t) =
+    ?(scale = Workloads.App.Default) ?(warmup = true) ?(check = true)
+    ?(func_cap = 0) ?trace ?trace_kernel ?(profile = false)
+    ?(fast_forward = true) (app : Workloads.App.t) =
   catching (fun () ->
       match mode with
       | Func ->
           (* Functional runs ignore the config's instruction cap (the
-             cap is a property of the cycle simulation): verification
-             must observe the complete computation. *)
-          let r = run_func ~cfg ~check app scale in
+             cap is a property of the cycle simulation); [func_cap]
+             (0 = uncapped) bounds exploratory runs, at the price of
+             skipping host-reference verification when it fires. *)
+          let r = run_func ~cfg ~max_warp_insts:func_cap ~check app scale in
           {
             Report.app;
             mode;

@@ -2,10 +2,9 @@
     functional or cycle simulator, accumulating statistics across
     launches and collecting each kernel's static load classification.
 
-    {!run} is the entry point: it selects the simulation {!mode},
+    {!run} is the sole entry point: it selects the simulation {!mode},
     returns a unified {!Report.t}, and folds every failure mode into a
-    [result].  The mode-specific entry points further down are retained
-    as thin compatibility aliases over the same machinery. *)
+    [result]. *)
 
 (** Which simulator executes the application: [Func] interprets kernels
     directly against global memory (fast, no timing); [Timing] runs the
@@ -24,13 +23,6 @@ type func_result = {
   fr_static_d : int;  (** static deterministic global-load instructions *)
   fr_static_n : int;
   fr_check : bool;  (** host-reference verification (when requested) *)
-}
-
-type timing_result = {
-  tr_app : Workloads.App.t;
-  tr_stats : Gsim.Stats.t;
-  tr_launches : int;
-  tr_cfg : Gsim.Config.t;
 }
 
 (** One result shape for both simulation modes. *)
@@ -61,6 +53,7 @@ val run :
   ?scale:Workloads.App.scale ->
   ?warmup:bool ->
   ?check:bool ->
+  ?func_cap:int ->
   ?trace:Gsim.Trace.t ->
   ?trace_kernel:string ->
   ?profile:bool ->
@@ -82,31 +75,18 @@ val run :
     quiescent windows — statistics and traces are identical to the
     naive loop by construction (see DESIGN.md), so it is on by default.
 
-    Func mode: the full computation is interpreted uncapped —
-    [cfg.max_warp_insts] is a property of the cycle simulation, and
-    [check] (default true) must observe the complete run to verify it
-    against the host reference.
+    Func mode: the computation is interpreted without timing —
+    [cfg.max_warp_insts] is a property of the cycle simulation; the
+    separate [func_cap] (default 0 = uncapped) bounds the interpreted
+    warp instructions for exploratory runs.  [check] (default true)
+    verifies the result against the host reference, skipped when a cap
+    cut the run short (verification must observe the complete
+    computation).
 
     Every failure mode — static verification, unbound parameters,
     memory faults, watchdog stalls, kernel construction and parse
     errors — arrives as a structured {!Gsim.Sim_error.t} instead of an
     exception. *)
-
-(** {1 Mode-specific entry points}
-
-    Deprecated: thin aliases kept for compatibility; new code should
-    call {!run} and read the {!Report.t}. *)
-
-val run_func :
-  ?cfg:Gsim.Config.t ->
-  ?max_warp_insts:int ->
-  ?check:bool ->
-  Workloads.App.t ->
-  Workloads.App.scale ->
-  func_result
-(** Deprecated: use [run ~mode:Func].  Functional run; [check] (default
-    true) verifies results against the host reference when the run was
-    not capped. *)
 
 val warmup_launches :
   ?cfg:Gsim.Config.t -> Workloads.App.t -> Workloads.App.scale -> int
@@ -115,36 +95,3 @@ val warmup_launches :
     Iterative apps (bfs, sssp, ...) spend their first launches on tiny
     frontiers; measuring only those would mischaracterize the steady
     state the paper reports. *)
-
-val run_timing :
-  ?cfg:Gsim.Config.t ->
-  ?warmup:bool ->
-  ?trace:Gsim.Trace.t ->
-  ?trace_kernel:string ->
-  ?fast_forward:bool ->
-  Workloads.App.t ->
-  Workloads.App.scale ->
-  timing_result
-(** Deprecated: use {!run}.  Cycle-level run; unlike {!run} it raises
-    on failure and defaults [fast_forward] to false (the naive loop),
-    preserving its historical behaviour exactly. *)
-
-val run_func_result :
-  ?cfg:Gsim.Config.t ->
-  ?max_warp_insts:int ->
-  ?check:bool ->
-  Workloads.App.t ->
-  Workloads.App.scale ->
-  (func_result, Gsim.Sim_error.t) result
-(** Deprecated: use [run ~mode:Func].  [run_func] with every failure
-    mode returned as a structured {!Gsim.Sim_error.t}. *)
-
-val run_timing_result :
-  ?cfg:Gsim.Config.t ->
-  ?warmup:bool ->
-  ?trace:Gsim.Trace.t ->
-  ?trace_kernel:string ->
-  Workloads.App.t ->
-  Workloads.App.scale ->
-  (timing_result, Gsim.Sim_error.t) result
-(** Deprecated: use {!run}.  [run_timing], exception-free. *)

@@ -33,6 +33,12 @@ type line = {
   mutable tag : int;
   mutable state : line_state;
   mutable last_use : int;
+  (* policy-protected (holistic N-load protection): skipped by victim
+     selection until every evictable way of the set is protected, at
+     which point the whole set loses protection (second chance).
+     Never set unless an access passes [~protect:true], so the default
+     victim behaviour is exactly the unprotected LRU. *)
+  mutable protected_ : bool;
 }
 
 type mshr_entry = { mutable waiters : Request.t list; mutable merged : int }
@@ -64,7 +70,7 @@ let create ~sets ~ways ~line_size ~mshr_entries ~mshr_max_merge =
     lines =
       Array.init sets (fun _ ->
           Array.init ways (fun _ ->
-              { tag = -1; state = Invalid; last_use = 0 }));
+              { tag = -1; state = Invalid; last_use = 0; protected_ = false }));
     mshr = Hashtbl.create (2 * mshr_entries);
     mshr_entries;
     mshr_max_merge;
@@ -86,7 +92,10 @@ let find_line t la =
   go 0
 
 (* Victim selection: an invalid way first, else the LRU non-reserved
-   way.  None when every way is reserved (tag reservation failure). *)
+   unprotected way; when every evictable way is protected, clear the
+   set's protection and take the plain LRU (second chance).  None when
+   every way is reserved (tag reservation failure).  With no protected
+   lines — the default — this is exactly the unprotected LRU policy. *)
 let find_victim t la =
   let set = t.lines.(set_index t la) in
   let invalid = Array.fold_left
@@ -97,21 +106,32 @@ let find_victim t la =
   in
   match invalid with
   | Some l -> Some l
-  | None ->
-      Array.fold_left
-        (fun acc l ->
-          if l.state = Reserved then acc
-          else
-            match acc with
-            | Some best when best.last_use <= l.last_use -> acc
-            | _ -> Some l)
-        None set
+  | None -> (
+      let pick ~skip_protected =
+        Array.fold_left
+          (fun acc l ->
+            if l.state = Reserved || (skip_protected && l.protected_) then acc
+            else
+              match acc with
+              | Some best when best.last_use <= l.last_use -> acc
+              | _ -> Some l)
+          None set
+      in
+      match pick ~skip_protected:true with
+      | Some _ as v -> v
+      | None -> (
+          match pick ~skip_protected:false with
+          | Some _ as v ->
+              Array.iter (fun l -> l.protected_ <- false) set;
+              v
+          | None -> None))
 
 let mshr_full t = Hashtbl.length t.mshr >= t.mshr_entries
 
 (* Access for a load request.  [icnt_ok] tells whether a miss could be
-   forwarded downstream this cycle. *)
-let access_load t ~(req : Request.t) ~icnt_ok =
+   forwarded downstream this cycle.  [protect] (policy-driven) pins
+   the touched line against eviction — see [find_victim]. *)
+let access_load_protect t ~protect ~(req : Request.t) ~icnt_ok =
   t.time <- t.time + 1;
   let la = req.Request.line_addr in
   let count o =
@@ -123,6 +143,7 @@ let access_load t ~(req : Request.t) ~icnt_ok =
   match find_line t la with
   | Some l when l.state = Valid ->
       l.last_use <- t.time;
+      if protect then l.protected_ <- true;
       Hit
   | Some _ -> (
       (* line is in flight: try to merge into its MSHR entry *)
@@ -146,9 +167,27 @@ let access_load t ~(req : Request.t) ~icnt_ok =
             victim.tag <- la;
             victim.state <- Reserved;
             victim.last_use <- t.time;
+            victim.protected_ <- protect;
             Hashtbl.replace t.mshr la { waiters = [ req ]; merged = 1 };
             Miss
           end)
+
+(* The stock access path: no line protection. *)
+let access_load t ~req ~icnt_ok =
+  access_load_protect t ~protect:false ~req ~icnt_ok
+
+(* Attach a request to an existing in-flight MSHR entry WITHOUT
+   consuming merge capacity: the IAR reorder unit combines same-line
+   accesses before they reach the cache, so the combined secondaries
+   ride the primary's entry for free — they were one probe.  Prepended
+   like merges, keeping the allocator last for [mshr_owner_cta].
+   False when the line has no in-flight entry (caller invariant). *)
+let mshr_attach t ~line_addr ~(req : Request.t) =
+  match Hashtbl.find_opt t.mshr line_addr with
+  | Some e ->
+      e.waiters <- req :: e.waiters;
+      true
+  | None -> false
 
 (* A fill returning from the lower level: validate the line and release
    the waiting requests. *)
@@ -175,7 +214,8 @@ let invalidate t ~line_addr =
   match find_line t line_addr with
   | Some l when l.state = Valid ->
       l.state <- Invalid;
-      l.tag <- -1
+      l.tag <- -1;
+      l.protected_ <- false
   | Some _ | None -> ()
 
 (* Write-allocate update for L2 stores: mark/refresh the line valid.

@@ -33,6 +33,20 @@ val access_load : t -> req:Request.t -> icnt_ok:bool -> outcome
     [Hit_reserved] the request was merged into the in-flight entry.
     Reservation failures leave no state behind. *)
 
+val access_load_protect :
+  t -> protect:bool -> req:Request.t -> icnt_ok:bool -> outcome
+(** {!access_load} with policy-driven line protection: with [protect]
+    the touched line is pinned against eviction until every evictable
+    way of its set is protected, at which point the whole set loses
+    protection — second-chance semantics for the holistic N-load
+    protection policy.  [~protect:false] is exactly {!access_load}. *)
+
+val mshr_attach : t -> line_addr:int -> req:Request.t -> bool
+(** Attach [req] to the line's in-flight MSHR entry without consuming
+    merge capacity — for requests combined upstream of the cache (the
+    IAR reorder unit), which shared the primary's single probe.  False
+    when the line has no in-flight entry. *)
+
 val fill : t -> line_addr:int -> Request.t list
 (** A fill returning from below: the line becomes valid; returns the
     waiting requests (first element is the original miss). *)

@@ -25,6 +25,12 @@ let lines ~line_size ~mask ~addrs =
 let count ~line_size ~mask ~addrs =
   List.length (lines ~line_size ~mask ~addrs)
 
+(* Ascending-address ordering of a coalesced line list — the order the
+   IAR reorder unit buffers entries in, so same-line requests from
+   different warps batch into one probe.  The in-order LD/ST queue
+   keeps first-lane order; only the reorder buffer re-sorts. *)
+let sort_lines ls = List.sort compare ls
+
 (* Split the lane mask into sub-warps of [width] lanes each — the
    Section X.A warp-splitting ablation.  Returns the per-sub-warp line
    lists, dropping empty sub-warps. *)

@@ -9,6 +9,11 @@ val lines : line_size:int -> mask:int -> addrs:int array -> int list
 
 val count : line_size:int -> mask:int -> addrs:int array -> int
 
+val sort_lines : int list -> int list
+(** Ascending-address ordering of a coalesced line list — the order
+    the IAR reorder unit buffers entries in ({!Mempolicy}).  The
+    in-order LD/ST queue keeps first-lane order. *)
+
 val split_lines :
   line_size:int -> width:int -> mask:int -> addrs:int array -> int list list
 (** Per-sub-warp line lists under the Section X.A warp-splitting

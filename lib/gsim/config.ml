@@ -10,11 +10,11 @@ type cta_sched_policy =
       (* groups of k consecutive CTAs go to the same SM — the Section
          X.B proposal exploiting neighbour-CTA data locality *)
 
-(* Per-load-pc policy override: the paper's Section X.A suggestion of
+(* Static per-load flags: the paper's Section X.A suggestion of
    "instruction-feature-aware mechanisms that can be selectively
-   applied to load instructions".  When a (kernel, pc) has an entry,
-   it replaces the class-wide warp_split / prefetch / bypass flags for
-   that instruction. *)
+   applied to load instructions".  Used as the leaf of the policy
+   tree below: either class-wide for non-deterministic loads
+   ([Ndet_flags]) or per (kernel, pc) ([Per_pc]). *)
 type load_policy = {
   lp_split : int; (* sub-warp width, 0 = no split *)
   lp_prefetch : bool; (* next-line prefetch on miss *)
@@ -22,6 +22,60 @@ type load_policy = {
 }
 
 let no_policy = { lp_split = 0; lp_prefetch = false; lp_bypass = false }
+
+(* ---- memory-system policies ----
+
+   One composable value selects the memory-system intervention a run
+   evaluates; [Mempolicy] interprets it per SM.  [Baseline] must be
+   observationally identical to a simulator with no policy code at all
+   — the perf-lock goldens pin that equivalence byte-for-byte. *)
+
+(* Irregular Accesses Reorder unit (arXiv 2007.07131): a bounded
+   per-SM buffer that holds non-deterministic loads and issues them
+   line-batched, recovering inter-warp coalescing the hardware
+   coalescer cannot see. *)
+type iar_params = {
+  iar_entries : int; (* buffer capacity (line requests) *)
+  iar_max_wait : int; (* cycles before an entry bypasses batching *)
+}
+
+let default_iar = { iar_entries = 48; iar_max_wait = 64 }
+
+(* Holistic warp-level memory-hierarchy management (arXiv 1804.11038):
+   classifier-driven L1 bypass for streaming deterministic loads, line
+   protection for non-deterministic loads, and CTA-granular warp
+   throttling when the reservation-fail rate spikes.  All thresholds
+   are integers (percent / counts) so the canonical key stays exact. *)
+type holistic_params = {
+  hp_bypass_sample : int; (* D-load probes per pc before judging it *)
+  hp_bypass_hit_pct : int; (* mark streaming when hit% <= this *)
+  hp_protect_ndet : bool; (* protect N-load lines from eviction *)
+  hp_throttle_window : int; (* probes per throttle evaluation window *)
+  hp_throttle_high_pct : int; (* fail% >= this: throttle one CTA *)
+  hp_throttle_low_pct : int; (* fail% <= this: release one CTA *)
+}
+
+let default_holistic =
+  {
+    hp_bypass_sample = 256;
+    hp_bypass_hit_pct = 20;
+    hp_protect_ndet = true;
+    hp_throttle_window = 2048;
+    hp_throttle_high_pct = 40;
+    hp_throttle_low_pct = 10;
+  }
+
+type policy =
+  | Baseline (* stock hardware; byte-identical to the locked goldens *)
+  | Ndet_flags of load_policy
+      (* class-wide split/prefetch/bypass applied to every
+         non-deterministic load (the former warp_split_width /
+         prefetch_ndet / bypass_ndet knobs) *)
+  | Iar of iar_params
+  | Holistic of holistic_params
+  | Per_pc of ((string * int) * load_policy) list * policy
+      (* per-(kernel, pc) overrides wrapping any inner policy; an entry
+         replaces the inner policy's static flags for that load *)
 
 (* Warp issue policy within an SM. *)
 type warp_sched_policy =
@@ -66,26 +120,13 @@ type t = {
   max_cycles : int;
   cta_sched : cta_sched_policy;
   warp_sched : warp_sched_policy;
-  (* Section X.A ablation: split each non-deterministic load into
-     sub-warps of this many lanes (0 = off), throttling the burst of
-     simultaneous L1 reservations a single warp can demand *)
-  warp_split_width : int;
   (* Section X.C ablation: SMs grouped into clusters of this size, each
      cluster owning a private slice of L2 (0 = global L2).  Modelled by
      scaling each partition's capacity by cluster/n_sms and routing a
      cluster's traffic to its own partition set. *)
   l2_cluster : int;
-  (* Section X.A discussion ([16]): instruction-aware next-line
-     prefetching applied only to non-deterministic loads.  On an L1
-     miss of an N load, the following line is also requested when tags,
-     MSHRs and interconnect credits are free. *)
-  prefetch_ndet : bool;
-  (* Instruction-aware L1 bypass: non-deterministic loads skip the L1
-     entirely (requests go straight to L2), leaving the scarce tags and
-     MSHRs to the coalesced deterministic traffic. *)
-  bypass_ndet : bool;
-  (* per-(kernel, pc) policy overrides, e.g. from Critload.Advisor *)
-  pc_policies : ((string * int) * load_policy) list;
+  (* the memory-system policy this run evaluates (see [Mempolicy]) *)
+  policy : policy;
 }
 
 (* Tesla C2050 / Table II defaults. *)
@@ -124,11 +165,8 @@ let default =
     max_cycles = 3_000_000;
     cta_sched = Round_robin;
     warp_sched = Lrr;
-    warp_split_width = 0;
     l2_cluster = 0;
-    prefetch_ndet = false;
-    bypass_ndet = false;
-    pc_policies = [];
+    policy = Baseline;
   }
 
 (* ---- builder ----
@@ -192,11 +230,45 @@ let with_caps ?max_warp_insts ?max_cycles () c =
 
 let with_cta_sched p c = { c with cta_sched = p }
 let with_warp_sched p c = { c with warp_sched = p }
-let with_warp_split w c = { c with warp_split_width = w }
 let with_l2_cluster k c = { c with l2_cluster = k }
-let with_prefetch_ndet b c = { c with prefetch_ndet = b }
-let with_bypass_ndet b c = { c with bypass_ndet = b }
-let with_pc_policies ps c = { c with pc_policies = ps }
+let with_policy p c = { c with policy = p }
+
+(* Deprecated flag builders: the former class-wide knobs, kept so old
+   call sites (and the X.A ablation tables) still read naturally.
+   They edit the [Ndet_flags] layer of the current policy — all-off
+   flags normalize back to [Baseline], so
+   [default |> with_warp_split 0 = default] — and leave a structured
+   policy ([Iar]/[Holistic]) untouched. *)
+
+let rec edit_ndet_flags f = function
+  | Baseline ->
+      let fl = f no_policy in
+      if fl = no_policy then Baseline else Ndet_flags fl
+  | Ndet_flags fl ->
+      let fl = f fl in
+      if fl = no_policy then Baseline else Ndet_flags fl
+  | Per_pc (ps, inner) -> Per_pc (ps, edit_ndet_flags f inner)
+  | (Iar _ | Holistic _) as p -> p
+
+let with_warp_split w c =
+  { c with policy = edit_ndet_flags (fun f -> { f with lp_split = w }) c.policy }
+
+let with_prefetch_ndet b c =
+  { c with
+    policy = edit_ndet_flags (fun f -> { f with lp_prefetch = b }) c.policy }
+
+let with_bypass_ndet b c =
+  { c with
+    policy = edit_ndet_flags (fun f -> { f with lp_bypass = b }) c.policy }
+
+(* Deprecated: replaces the per-pc override table wholesale (the old
+   [pc_policies] field semantics), wrapping whatever structured policy
+   is already selected.  New code should build [Per_pc] directly. *)
+let with_pc_policies ps c =
+  let inner =
+    match c.policy with Per_pc (_, inner) -> inner | p -> p
+  in
+  { c with policy = (match ps with [] -> inner | _ -> Per_pc (ps, inner)) }
 
 (* ---- canonical key / digest ----
 
@@ -213,8 +285,46 @@ let string_of_cta_sched = function
 
 let string_of_warp_sched = function Lrr -> "lrr" | Gto -> "gto"
 
-let string_of_policy (p : load_policy) =
+let string_of_load_policy (p : load_policy) =
   Printf.sprintf "%d:%b:%b" p.lp_split p.lp_prefetch p.lp_bypass
+
+(* Canonical policy rendering: every parameter appears, so two configs
+   share a key iff their policies are semantically identical. *)
+let rec string_of_mem_policy = function
+  | Baseline -> "baseline"
+  | Ndet_flags f -> "ndet{" ^ string_of_load_policy f ^ "}"
+  | Iar p -> Printf.sprintf "iar{%d:%d}" p.iar_entries p.iar_max_wait
+  | Holistic p ->
+      Printf.sprintf "holistic{%d:%d:%b:%d:%d:%d}" p.hp_bypass_sample
+        p.hp_bypass_hit_pct p.hp_protect_ndet p.hp_throttle_window
+        p.hp_throttle_high_pct p.hp_throttle_low_pct
+  | Per_pc (ps, inner) ->
+      let b = Buffer.create 64 in
+      Buffer.add_string b "perpc{";
+      List.iter
+        (fun ((kernel, pc), f) ->
+          Buffer.add_string b
+            (Printf.sprintf "%s@%d=%s;" kernel pc (string_of_load_policy f)))
+        ps;
+      Buffer.add_string b "}:";
+      Buffer.add_string b (string_of_mem_policy inner);
+      Buffer.contents b
+
+let policy_name = function
+  | Baseline -> "baseline"
+  | Ndet_flags _ -> "ndet-flags"
+  | Iar _ -> "iar"
+  | Holistic _ -> "holistic"
+  | Per_pc _ -> "per-pc"
+
+let policy_of_string = function
+  | "baseline" -> Ok Baseline
+  | "iar" -> Ok (Iar default_iar)
+  | "holistic" -> Ok (Holistic default_holistic)
+  | s ->
+      Error
+        (Printf.sprintf
+           "unknown policy %S (expected baseline, iar or holistic)" s)
 
 let to_key c =
   let b = Buffer.create 256 in
@@ -261,16 +371,8 @@ let to_key c =
   i "max_cycles" c.max_cycles;
   s "cta_sched" (string_of_cta_sched c.cta_sched);
   s "warp_sched" (string_of_warp_sched c.warp_sched);
-  i "warp_split_width" c.warp_split_width;
   i "l2_cluster" c.l2_cluster;
-  s "prefetch_ndet" (string_of_bool c.prefetch_ndet);
-  s "bypass_ndet" (string_of_bool c.bypass_ndet);
-  List.iter
-    (fun ((kernel, pc), p) ->
-      s
-        (Printf.sprintf "policy[%s@%d]" kernel pc)
-        (string_of_policy p))
-    c.pc_policies;
+  s "policy" (string_of_mem_policy c.policy);
   Buffer.contents b
 
 let to_digest c = Digest.to_hex (Digest.string (to_key c))

@@ -10,10 +10,11 @@ type cta_sched_policy =
       (** groups of [k] consecutive CTAs on the same SM, exploiting
           neighbour-CTA locality in the private L1 *)
 
-(** Per-load-pc policy override — the paper's Section X.A
+(** Static per-load flags — the paper's Section X.A
     "instruction-feature-aware mechanisms selectively applied to load
-    instructions".  An entry replaces the class-wide
-    warp-split/prefetch/bypass flags for that instruction. *)
+    instructions".  The leaf of the {!policy} tree: class-wide for
+    non-deterministic loads ({!Ndet_flags}) or per (kernel, pc)
+    ({!Per_pc}). *)
 type load_policy = {
   lp_split : int;  (** sub-warp width, 0 = no split *)
   lp_prefetch : bool;
@@ -21,6 +22,60 @@ type load_policy = {
 }
 
 val no_policy : load_policy
+
+(** {1 Memory-system policies}
+
+    One composable value selects the memory-system intervention a run
+    evaluates; [Mempolicy] interprets it per SM.  {!Baseline} is
+    observationally identical to a simulator with no policy code at
+    all — the perf-lock goldens pin that byte-for-byte. *)
+
+(** Irregular Accesses Reorder unit (arXiv 2007.07131): a bounded
+    per-SM buffer that holds non-deterministic loads and issues them
+    line-batched, recovering inter-warp coalescing. *)
+type iar_params = {
+  iar_entries : int;  (** buffer capacity (line requests) *)
+  iar_max_wait : int;  (** cycles before an entry bypasses batching *)
+}
+
+val default_iar : iar_params
+
+(** Holistic warp-level memory management (arXiv 1804.11038):
+    classifier-driven bypass for streaming deterministic loads, line
+    protection for non-deterministic loads, CTA-granular warp
+    throttling on reservation-fail spikes.  Integer thresholds keep
+    the canonical key exact. *)
+type holistic_params = {
+  hp_bypass_sample : int;  (** D-load probes per pc before judging it *)
+  hp_bypass_hit_pct : int;  (** mark streaming when hit% <= this *)
+  hp_protect_ndet : bool;
+  hp_throttle_window : int;  (** probes per throttle window *)
+  hp_throttle_high_pct : int;  (** fail% >= this: throttle one CTA *)
+  hp_throttle_low_pct : int;  (** fail% <= this: release one CTA *)
+}
+
+val default_holistic : holistic_params
+
+type policy =
+  | Baseline  (** stock hardware; byte-identical to the locked goldens *)
+  | Ndet_flags of load_policy
+      (** class-wide split/prefetch/bypass for every non-deterministic
+          load (the former [warp_split_width] / [prefetch_ndet] /
+          [bypass_ndet] knobs) *)
+  | Iar of iar_params
+  | Holistic of holistic_params
+  | Per_pc of ((string * int) * load_policy) list * policy
+      (** per-(kernel, pc) overrides wrapping any inner policy *)
+
+val policy_name : policy -> string
+(** Short label for tables and sweep job names. *)
+
+val string_of_mem_policy : policy -> string
+(** Canonical rendering with every parameter (the {!to_key} form). *)
+
+val policy_of_string : string -> (policy, string) result
+(** Parse a CLI policy name ([baseline] / [iar] / [holistic]), using
+    the default parameters for the structured policies. *)
 
 (** Warp issue policy within an SM. *)
 type warp_sched_policy =
@@ -59,20 +114,10 @@ type t = {
   max_cycles : int;
   cta_sched : cta_sched_policy;
   warp_sched : warp_sched_policy;
-  warp_split_width : int;
-      (** Section X.A ablation: issue non-deterministic loads in
-          sub-warps of this many lanes (0 = off) *)
   l2_cluster : int;
       (** Section X.C ablation: SM-cluster size owning a private L2
           slice (0 = globally shared L2) *)
-  prefetch_ndet : bool;
-      (** Section X.A discussion: next-line prefetch applied only to
-          non-deterministic loads *)
-  bypass_ndet : bool;
-      (** instruction-aware L1 bypass: non-deterministic loads skip the
-          L1, keeping tags/MSHRs for deterministic traffic *)
-  pc_policies : ((string * int) * load_policy) list;
-      (** per-(kernel, pc) overrides, e.g. from [Critload.Advisor] *)
+  policy : policy;  (** the memory-system policy this run evaluates *)
 }
 
 val default : t
@@ -117,11 +162,26 @@ val with_caps : ?max_warp_insts:int -> ?max_cycles:int -> unit -> t -> t
 
 val with_cta_sched : cta_sched_policy -> t -> t
 val with_warp_sched : warp_sched_policy -> t -> t
-val with_warp_split : int -> t -> t
 val with_l2_cluster : int -> t -> t
+
+val with_policy : policy -> t -> t
+(** Select the memory-system policy (see {!policy}). *)
+
+val with_warp_split : int -> t -> t
+(** @deprecated Edits the {!Ndet_flags} layer of the current policy
+    (all-off flags normalize to {!Baseline}); leaves a structured
+    policy untouched.  Use {!with_policy}. *)
+
 val with_prefetch_ndet : bool -> t -> t
+(** @deprecated See {!with_warp_split}. *)
+
 val with_bypass_ndet : bool -> t -> t
+(** @deprecated See {!with_warp_split}. *)
+
 val with_pc_policies : ((string * int) * load_policy) list -> t -> t
+(** @deprecated Replaces the per-pc override table wholesale, wrapping
+    the current structured policy in {!Per_pc} ([[]] unwraps).  Build
+    {!Per_pc} directly via {!with_policy} instead. *)
 
 (** {1 Canonical identity} *)
 

@@ -250,7 +250,9 @@ let run_launch t ?max_ctas ?(fast_forward = false) (launch : Launch.t) =
     Launch.warps_per_cta launch ~warp_size:t.cfg.Config.warp_size
   in
   Array.iter
-    (fun sm -> Sm.reconfigure sm ~warp_slots:(ctas_per_sm * warps_per_cta))
+    (fun sm ->
+      Sm.reconfigure sm ~warp_slots:(ctas_per_sm * warps_per_cta)
+        ~warps_per_cta)
     t.sms;
   let d = make_dist t ?max_ctas launch in
   let last_activity = ref t.cycle in

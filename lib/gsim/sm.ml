@@ -54,6 +54,7 @@ type pending_mem = {
   pm_cta : int; (* issuing CTA, for MSHR locality attribution *)
   pm_prefetch : bool; (* next-line prefetch on miss *)
   pm_bypass : bool; (* skip the L1 *)
+  pm_protect : bool; (* pin the touched L1 lines (holistic N loads) *)
 }
 
 type hit_completion = { hc_ready : int; hc_req : Request.t }
@@ -70,6 +71,7 @@ type t = {
   stats : Stats.t;
   trace : Trace.t;
   l1 : Cache.t;
+  pol : Mempolicy.t; (* per-SM memory-system policy state *)
   mutable warps : Warp.t option array; (* per slot *)
   mutable states : int array; (* per slot, [st_*] codes *)
   mutable blocked_until : int array; (* meaningful when [st_blocked] *)
@@ -114,6 +116,7 @@ let create ?(trace = Trace.null ()) (cfg : Config.t) ~id ~stats ~warp_slots =
         ~line_size:cfg.Config.line_size
         ~mshr_entries:cfg.Config.l1_mshr_entries
         ~mshr_max_merge:cfg.Config.l1_mshr_max_merge;
+    pol = Mempolicy.create cfg;
     warps = Array.make warp_slots None;
     states = Array.make warp_slots st_empty;
     blocked_until = Array.make warp_slots 0;
@@ -136,7 +139,8 @@ let create ?(trace = Trace.null ()) (cfg : Config.t) ~id ~stats ~warp_slots =
 
 (* Resize the warp-slot table for a new launch; caches persist across
    kernel boundaries.  Only legal when no CTAs are resident. *)
-let reconfigure t ~warp_slots =
+let reconfigure t ~warp_slots ~warps_per_cta =
+  Mempolicy.reconfigure t.pol ~warp_slots ~warps_per_cta;
   if t.residents <> [] then
     Sim_error.error Sim_error.Internal
       "SM %d reconfigured with %d CTAs still resident" t.id
@@ -396,7 +400,18 @@ let accept_times (wl : Request.warp_load option) now =
         wl.Request.wl_t_first_accept <- now;
       wl.Request.wl_t_last_accept <- now
 
-let ldst_cycle t ~now ~icnt =
+(* Feed a demand-load probe outcome back to the policy (streaming
+   detection, reservation-fail throttle window).  Constant-time no-op
+   under Baseline. *)
+let policy_outcome t (wl : Request.warp_load option) cls outcome =
+  match wl with
+  | Some wl ->
+      Mempolicy.on_outcome t.pol ~kernel:wl.Request.wl_kernel
+        ~pc:wl.Request.wl_pc cls outcome
+  | None -> ()
+
+(* Drain the in-order LD/ST queue: one L1 access attempt per cycle. *)
+let fifo_cycle t ~now ~icnt =
   if not (Ringbuf.is_empty t.ldst_q) then begin
     let pm = Ringbuf.peek t.ldst_q in
       match pm.pm_lines with
@@ -456,6 +471,9 @@ let ldst_cycle t ~now ~icnt =
                 req.Request.t_accept <- now;
                 accept_times pm.pm_wl now;
                 Icnt.inject_request icnt ~now req;
+                (* a bypass injection is a successful attempt of the
+                   L1 pipe: feed the throttle window as a miss *)
+                policy_outcome t pm.pm_wl pm.pm_cls Cache.Miss;
                 pm.pm_lines <- rest
               end
               else begin
@@ -465,6 +483,8 @@ let ldst_cycle t ~now ~icnt =
                    class, splitting trace and stats accounting) *)
                 Stats.record_l1_event t.stats
                   (Cache.Rsrv_fail Cache.Fail_icnt) pm.pm_cls;
+                policy_outcome t pm.pm_wl pm.pm_cls
+                  (Cache.Rsrv_fail Cache.Fail_icnt);
                 if Trace.enabled t.trace then
                   Trace.emit t.trace
                     (Trace.Ev_access
@@ -488,8 +508,12 @@ let ldst_cycle t ~now ~icnt =
                   Cache.mshr_owner_cta t.l1 ~line_addr:line
                 else -1
               in
-              let outcome = Cache.access_load t.l1 ~req ~icnt_ok in
+              let outcome =
+                Cache.access_load_protect t.l1 ~protect:pm.pm_protect ~req
+                  ~icnt_ok
+              in
               Stats.record_l1_event t.stats outcome pm.pm_cls;
+              policy_outcome t pm.pm_wl pm.pm_cls outcome;
               if Trace.enabled t.trace then begin
                 Trace.emit t.trace
                   (Trace.Ev_access
@@ -550,26 +574,108 @@ let ldst_cycle t ~now ~icnt =
               | Cache.Rsrv_fail _ -> ()))
   end
 
+(* Issue one IAR line batch: every buffered entry for [line] shares a
+   single L1 probe.  The oldest entry is the primary; on Miss or
+   Hit_reserved the secondaries attach to the primary's MSHR entry
+   without consuming merge capacity (they were combined upstream of
+   the cache), on Hit each gets its own local completion, and on a
+   reservation failure the whole batch stays buffered for a later
+   cycle — the reorder unit will often pick a different line then,
+   which is where the reduction in per-retry fail cycles comes from. *)
+let iar_issue t ~now ~icnt ~line =
+  match Mempolicy.iar_batch t.pol ~line with
+  | [] -> () (* unreachable: select only returns buffered lines *)
+  | prim :: secs -> (
+      let mk (e : Mempolicy.iar_entry) =
+        let req =
+          Request.make ~cta:e.Mempolicy.ie_cta ~line_addr:line ~sm_id:t.id
+            ~kind:e.Mempolicy.ie_kind ~cls:e.Mempolicy.ie_cls
+            ~wl:e.Mempolicy.ie_wl ~now
+        in
+        (match e.Mempolicy.ie_wl with
+        | Some wl -> req.Request.t_issue <- wl.Request.wl_t_issue
+        | None -> ());
+        req
+      in
+      let accept (req : Request.t) (e : Mempolicy.iar_entry) =
+        req.Request.t_accept <- now;
+        accept_times e.Mempolicy.ie_wl now
+      in
+      let req = mk prim in
+      let icnt_ok = Icnt.can_inject icnt ~sm:t.id in
+      let owner_cta =
+        if Trace.enabled t.trace then Cache.mshr_owner_cta t.l1 ~line_addr:line
+        else -1
+      in
+      let outcome = Cache.access_load t.l1 ~req ~icnt_ok in
+      Stats.record_l1_event t.stats outcome prim.Mempolicy.ie_cls;
+      if Trace.enabled t.trace then begin
+        Trace.emit t.trace
+          (Trace.Ev_access
+             { cycle = now; where = Trace.S_l1 t.id; line;
+               src = Trace.A_load prim.Mempolicy.ie_cls; outcome });
+        match outcome with
+        | Cache.Miss ->
+            Trace.emit t.trace
+              (Trace.Ev_mshr_alloc
+                 { cycle = now; where = Trace.S_l1 t.id; line;
+                   cta = prim.Mempolicy.ie_cta })
+        | Cache.Hit_reserved ->
+            Trace.emit t.trace
+              (Trace.Ev_mshr_merge
+                 { cycle = now; where = Trace.S_l1 t.id; line;
+                   cta = prim.Mempolicy.ie_cta; owner_cta })
+        | Cache.Hit | Cache.Rsrv_fail _ -> ()
+      end;
+      match outcome with
+      | Cache.Rsrv_fail _ -> Mempolicy.iar_defer t.pol ~now
+      | Cache.Hit ->
+          accept req prim;
+          Ringbuf.push
+            { hc_ready = now + t.cfg.Config.l1_hit_latency; hc_req = req }
+            t.hit_pending;
+          List.iter
+            (fun e ->
+              let r = mk e in
+              accept r e;
+              Ringbuf.push
+                { hc_ready = now + t.cfg.Config.l1_hit_latency; hc_req = r }
+                t.hit_pending)
+            secs;
+          Mempolicy.iar_remove_line t.pol ~line
+      | Cache.Hit_reserved | Cache.Miss ->
+          accept req prim;
+          if outcome = Cache.Miss then Icnt.inject_request icnt ~now req;
+          List.iter
+            (fun e ->
+              let r = mk e in
+              accept r e;
+              ignore (Cache.mshr_attach t.l1 ~line_addr:line ~req:r))
+            secs;
+          Mempolicy.iar_remove_line t.pol ~line)
+
+(* LD/ST arbitration: the reorder buffer may claim this cycle's single
+   L1 access (aged entries first, else when the in-order queue is
+   empty); otherwise the queue drains as on stock hardware.  Under
+   Baseline [iar_select] is a constant [None]. *)
+let ldst_cycle t ~now ~icnt =
+  match
+    Mempolicy.iar_select t.pol ~now
+      ~fifo_nonempty:(not (Ringbuf.is_empty t.ldst_q))
+  with
+  | Some line -> iar_issue t ~now ~icnt ~line
+  | None -> fifo_cycle t ~now ~icnt
+
 (* ---- issue stage ---- *)
 
 let slot_ready t i ~now =
   let st = t.states.(i) in
   st = st_ready || (st = st_blocked && t.blocked_until.(i) <= now)
 
-(* Effective policy for the global load at (kernel, pc): a per-pc
-   override from the advisor when present, else the class-wide flags. *)
-let policy_for (cfg : Config.t) ~kernel ~pc cls =
-  match List.assoc_opt (kernel, pc) cfg.Config.pc_policies with
-  | Some p -> p
-  | None ->
-      if cls = Dataflow.Classify.Nondeterministic then
-        { Config.lp_split = cfg.Config.warp_split_width;
-          lp_prefetch = cfg.Config.prefetch_ndet;
-          lp_bypass = cfg.Config.bypass_ndet }
-      else Config.no_policy
-
-(* Issue one memory instruction: coalesce, build the warp-load record,
-   enqueue into the LD/ST unit, block the warp if it must wait. *)
+(* Issue one memory instruction: consult the memory-system policy,
+   coalesce, build the warp-load record, route into the LD/ST unit
+   (in-order queue or IAR reorder buffer), block the warp if it must
+   wait. *)
 let issue_mem t ~now ~slot_idx (w : Warp.t) (m : Warp.mem_op) =
   let cfg = t.cfg in
   match (m.Warp.m_space, m.Warp.m_kind) with
@@ -577,7 +683,8 @@ let issue_mem t ~now ~slot_idx (w : Warp.t) (m : Warp.mem_op) =
       let launch = (resident_of_slot t slot_idx).rc_cta.Cta.launch in
       let kernel = launch.Launch.kernel.Ptx.Kernel.kname in
       let cls = Launch.load_class launch m.Warp.m_pc in
-      let pol = policy_for cfg ~kernel ~pc:m.Warp.m_pc cls in
+      let d = Mempolicy.decide t.pol ~kernel ~pc:m.Warp.m_pc cls in
+      let pol = d.Mempolicy.d_flags in
       let groups =
         Coalesce.split_lines ~line_size:cfg.Config.line_size
           ~width:pol.Config.lp_split ~mask:m.Warp.m_mask ~addrs:m.Warp.m_addrs
@@ -599,16 +706,35 @@ let issue_mem t ~now ~slot_idx (w : Warp.t) (m : Warp.mem_op) =
                  { cycle = now; sm = t.id; cta; warp_slot = slot_idx;
                    kernel; pc = m.Warp.m_pc; cls;
                    active = Warp.popcount m.Warp.m_mask; nreq = total });
-          Ringbuf.push
-            { pm_wl = Some wl; pm_lines = g; pm_groups = rest;
-              pm_kind =
-                (if m.Warp.m_kind = Warp.Atomic then Request.Atomic
-                 else Request.Load);
-              pm_cls = cls;
-              pm_cta = cta;
-              pm_prefetch = pol.Config.lp_prefetch;
-              pm_bypass = pol.Config.lp_bypass }
-            t.ldst_q;
+          (* Reorder-buffer routing: plain (unsplit) loads only —
+             atomics and sub-warp groups keep program order.  When the
+             buffer lacks room the load falls back to the in-order
+             queue, which bounds buffered state by construction. *)
+          let buffered =
+            d.Mempolicy.d_buffer
+            && m.Warp.m_kind = Warp.Load
+            && rest = []
+            && Mempolicy.iar_room t.pol ~n:(List.length g)
+          in
+          if buffered then
+            List.iter
+              (fun line ->
+                Mempolicy.iar_add t.pol
+                  { Mempolicy.ie_line = line; ie_born = now; ie_wl = Some wl;
+                    ie_kind = Request.Load; ie_cls = cls; ie_cta = cta })
+              (Coalesce.sort_lines g)
+          else
+            Ringbuf.push
+              { pm_wl = Some wl; pm_lines = g; pm_groups = rest;
+                pm_kind =
+                  (if m.Warp.m_kind = Warp.Atomic then Request.Atomic
+                   else Request.Load);
+                pm_cls = cls;
+                pm_cta = cta;
+                pm_prefetch = pol.Config.lp_prefetch;
+                pm_bypass = pol.Config.lp_bypass;
+                pm_protect = d.Mempolicy.d_protect }
+              t.ldst_q;
           set_state t slot_idx st_waiting_mem)
   | Ptx.Types.Global, Warp.Store ->
       let lines =
@@ -619,7 +745,7 @@ let issue_mem t ~now ~slot_idx (w : Warp.t) (m : Warp.mem_op) =
         { pm_wl = None; pm_lines = lines; pm_groups = [];
           pm_kind = Request.Store; pm_cls = Dataflow.Classify.Deterministic;
           pm_cta = w.Warp.cta_lin;
-          pm_prefetch = false; pm_bypass = false }
+          pm_prefetch = false; pm_bypass = false; pm_protect = false }
         t.ldst_q;
       (* stores are fire-and-forget: the warp continues *)
       set_blocked t slot_idx ~until:(now + 1)
@@ -645,9 +771,30 @@ let issue_mem t ~now ~slot_idx (w : Warp.t) (m : Warp.mem_op) =
       t.ldst_busy_until <- now + 2;
       set_blocked t slot_idx ~until:(now + cfg.Config.l1_hit_latency)
 
+(* CTA-granular warp-throttle boundary: when the policy caps resident
+   CTAs at [allowed], only slots below the base of the (allowed+1)-th
+   lowest-based resident CTA may issue.  CTAs occupy contiguous slot
+   ranges, so "slot < bound" admits exactly the [allowed] lowest CTAs
+   — always whole CTAs (barriers stay safe) and always including the
+   lowest-based one (forward progress is guaranteed: it retires, its
+   slots free up, and the next CTA slides under the bound). *)
+let throttle_bound t =
+  let allowed = Mempolicy.allowed_ctas t.pol in
+  if allowed = max_int then max_int
+  else begin
+    let nres = List.length t.residents in
+    if nres <= allowed then max_int
+    else
+      let bases =
+        List.sort compare (List.map (fun r -> r.rc_base) t.residents)
+      in
+      List.nth bases allowed
+  end
+
 let issue_cycle t ~now =
   let n = Array.length t.states in
   if n > 0 && scan_worthwhile t ~now then begin
+    let bound = throttle_bound t in
     let issued = ref false in
     let tried = ref 0 in
     (* LRR rotates from the last issuer; GTO stays greedy on the same
@@ -671,7 +818,7 @@ let issue_cycle t ~now =
         incr cur;
         if !cur = last then incr cur
       end;
-      if slot_ready t i ~now then begin
+      if i < bound && slot_ready t i ~now then begin
         match t.warps.(i) with
         | None -> ()
         | Some w ->
@@ -734,8 +881,11 @@ let issue_cycle t ~now =
 let sample_occupancy t ~now =
   if t.sp_busy_until > now then Stats.record_unit_busy t.stats Exec.SP;
   if t.sfu_busy_until > now then Stats.record_unit_busy t.stats Exec.SFU;
-  if (not (Ringbuf.is_empty t.ldst_q)) || t.ldst_busy_until > now then
-    Stats.record_unit_busy t.stats Exec.LDST
+  if
+    (not (Ringbuf.is_empty t.ldst_q))
+    || Mempolicy.iar_pending t.pol > 0
+    || t.ldst_busy_until > now
+  then Stats.record_unit_busy t.stats Exec.LDST
 
 (* Skipped phases are provably no-ops: [process_returns] only acts on
    an arrived response or a matured local hit, and [ldst_cycle] only on
@@ -747,7 +897,8 @@ let cycle t ~now ~icnt =
     Icnt.response_arrived icnt ~now ~sm:t.id
     || not (Ringbuf.is_empty t.hit_pending)
   then process_returns t ~now ~icnt;
-  if not (Ringbuf.is_empty t.ldst_q) then ldst_cycle t ~now ~icnt;
+  if not (Ringbuf.is_empty t.ldst_q) || Mempolicy.iar_pending t.pol > 0 then
+    ldst_cycle t ~now ~icnt;
   issue_cycle t ~now;
   sample_occupancy t ~now
 
@@ -757,6 +908,7 @@ let idle t =
   (match t.residents with [] -> true | _ :: _ -> false)
   && Ringbuf.is_empty t.ldst_q
   && Ringbuf.is_empty t.hit_pending
+  && Mempolicy.iar_pending t.pol = 0
 
 (* ---- fast-forward contract (see DESIGN) ----
 
@@ -778,7 +930,11 @@ let idle t =
    changes nothing, and its per-cycle occupancy samples are
    reconstructed in batch by [account_idle]. *)
 let next_wake t ~now =
-  if not (Ringbuf.is_empty t.ldst_q) || any_issuable t ~now then now
+  if
+    (not (Ringbuf.is_empty t.ldst_q))
+    || Mempolicy.iar_pending t.pol > 0
+    || any_issuable t ~now
+  then now
   else begin
     (* any_issuable refreshed blocked_min if it was <= now, so it is
        now exact: the earliest pending block expiry (max_int when
@@ -804,9 +960,10 @@ let account_idle t ~now ~until =
   let ld = span t.ldst_busy_until in
   if ld > 0 then Stats.record_unit_busy_span t.stats Exec.LDST ld
 
-(* (in-flight L1 MSHR entries, LD/ST queue depth) — the per-SM
-   occupancy timeline the trace layer samples. *)
-let occupancy_sample t = (Cache.mshr_in_use t.l1, Ringbuf.length t.ldst_q)
+(* (in-flight L1 MSHR entries, LD/ST queue depth incl. reorder-buffer
+   entries) — the per-SM occupancy timeline the trace layer samples. *)
+let occupancy_sample t =
+  (Cache.mshr_in_use t.l1, Ringbuf.length t.ldst_q + Mempolicy.iar_pending t.pol)
 
 (* (cta, warp id, pc) of every warp parked at a barrier — the stall
    watchdog uses this to tell a barrier deadlock from a livelock. *)

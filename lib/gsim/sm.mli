@@ -17,9 +17,11 @@ val create :
     {!Trace.enabled} so the disabled path costs one mutable-field
     read. *)
 
-val reconfigure : t -> warp_slots:int -> unit
-(** Resize the warp-slot table for a new launch; caches persist across
-    kernel boundaries.  Only legal when no CTAs are resident. *)
+val reconfigure : t -> warp_slots:int -> warps_per_cta:int -> unit
+(** Resize the warp-slot table for a new launch and tell the memory
+    policy the new occupancy shape ({!Mempolicy.reconfigure}); caches
+    persist across kernel boundaries.  Only legal when no CTAs are
+    resident. *)
 
 val free_slots : t -> int
 

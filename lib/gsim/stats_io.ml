@@ -513,6 +513,123 @@ let stats_of_json v : Stats.t =
 
 (* ---- Config.t ---- *)
 
+(* Memory-system policy tree.  Serialized recursively: a bare string
+   for the parameterless baseline, a one-member object keyed by the
+   variant otherwise, so adding a policy never disturbs old readers of
+   other variants. *)
+
+let load_policy_to_json (p : Config.load_policy) =
+  Obj
+    [ ("split", Int p.Config.lp_split);
+      ("prefetch", Bool p.Config.lp_prefetch);
+      ("bypass", Bool p.Config.lp_bypass) ]
+
+let load_policy_of_json pv =
+  {
+    Config.lp_split = int_field "split" pv;
+    lp_prefetch = get_bool (member "prefetch" pv);
+    lp_bypass = get_bool (member "bypass" pv);
+  }
+
+let pc_policy_to_json ((kernel, pc), (p : Config.load_policy)) =
+  Obj
+    [ ("kernel", Str kernel);
+      ("pc", Int pc);
+      ("split", Int p.Config.lp_split);
+      ("prefetch", Bool p.Config.lp_prefetch);
+      ("bypass", Bool p.Config.lp_bypass) ]
+
+let pc_policy_of_json pv =
+  ((str_field "kernel" pv, int_field "pc" pv), load_policy_of_json pv)
+
+let rec mem_policy_to_json (p : Config.policy) =
+  match p with
+  | Config.Baseline -> Str "baseline"
+  | Config.Ndet_flags lp -> Obj [ ("ndet_flags", load_policy_to_json lp) ]
+  | Config.Iar ip ->
+      Obj
+        [ ( "iar",
+            Obj
+              [ ("entries", Int ip.Config.iar_entries);
+                ("max_wait", Int ip.Config.iar_max_wait) ] ) ]
+  | Config.Holistic hp ->
+      Obj
+        [ ( "holistic",
+            Obj
+              [ ("bypass_sample", Int hp.Config.hp_bypass_sample);
+                ("bypass_hit_pct", Int hp.Config.hp_bypass_hit_pct);
+                ("protect_ndet", Bool hp.Config.hp_protect_ndet);
+                ("throttle_window", Int hp.Config.hp_throttle_window);
+                ("throttle_high_pct", Int hp.Config.hp_throttle_high_pct);
+                ("throttle_low_pct", Int hp.Config.hp_throttle_low_pct) ] ) ]
+  | Config.Per_pc (ps, inner) ->
+      Obj
+        [ ("per_pc", Arr (List.map pc_policy_to_json ps));
+          ("inner", mem_policy_to_json inner) ]
+
+let rec mem_policy_of_json v : Config.policy =
+  match v with
+  | Str "baseline" -> Config.Baseline
+  | Str s -> raise (Parse_error ("unknown policy " ^ s))
+  | Obj _ -> (
+      match member "ndet_flags" v with
+      | Null -> (
+          match member "iar" v with
+          | Null -> (
+              match member "holistic" v with
+              | Null -> (
+                  match member "per_pc" v with
+                  | Null ->
+                      raise (Parse_error "policy object with no known variant")
+                  | ps ->
+                      Config.Per_pc
+                        ( List.map pc_policy_of_json (get_list ps),
+                          mem_policy_of_json (member "inner" v) ))
+              | h ->
+                  Config.Holistic
+                    {
+                      Config.hp_bypass_sample = int_field "bypass_sample" h;
+                      hp_bypass_hit_pct = int_field "bypass_hit_pct" h;
+                      hp_protect_ndet = get_bool (member "protect_ndet" h);
+                      hp_throttle_window = int_field "throttle_window" h;
+                      hp_throttle_high_pct = int_field "throttle_high_pct" h;
+                      hp_throttle_low_pct = int_field "throttle_low_pct" h;
+                    })
+          | ip ->
+              Config.Iar
+                {
+                  Config.iar_entries = int_field "entries" ip;
+                  iar_max_wait = int_field "max_wait" ip;
+                })
+      | lp -> Config.Ndet_flags (load_policy_of_json lp))
+  | w -> raise (Parse_error ("bad policy: " ^ type_name w))
+
+(* Documents written before the policy redesign carried four separate
+   members (warp_split_width / prefetch_ndet / bypass_ndet /
+   pc_policies); rebuild the equivalent policy tree from them. *)
+let legacy_policy_of_json v : Config.policy =
+  let split =
+    match member "warp_split_width" v with Null -> 0 | w -> get_int w
+  in
+  let prefetch =
+    match member "prefetch_ndet" v with Null -> false | b -> get_bool b
+  in
+  let bypass =
+    match member "bypass_ndet" v with Null -> false | b -> get_bool b
+  in
+  let pcs =
+    match member "pc_policies" v with
+    | Null -> []
+    | ps -> List.map pc_policy_of_json (get_list ps)
+  in
+  let base =
+    if split = 0 && (not prefetch) && not bypass then Config.Baseline
+    else
+      Config.Ndet_flags
+        { Config.lp_split = split; lp_prefetch = prefetch; lp_bypass = bypass }
+  in
+  match pcs with [] -> base | _ -> Config.Per_pc (pcs, base)
+
 let config_to_json (c : Config.t) =
   let cta_sched =
     match c.Config.cta_sched with
@@ -523,14 +640,6 @@ let config_to_json (c : Config.t) =
     match c.Config.warp_sched with
     | Config.Lrr -> Str "lrr"
     | Config.Gto -> Str "gto"
-  in
-  let policy ((kernel, pc), (p : Config.load_policy)) =
-    Obj
-      [ ("kernel", Str kernel);
-        ("pc", Int pc);
-        ("split", Int p.Config.lp_split);
-        ("prefetch", Bool p.Config.lp_prefetch);
-        ("bypass", Bool p.Config.lp_bypass) ]
   in
   Obj
     [ ("n_sms", Int c.Config.n_sms);
@@ -564,11 +673,8 @@ let config_to_json (c : Config.t) =
       ("max_cycles", Int c.Config.max_cycles);
       ("cta_sched", cta_sched);
       ("warp_sched", warp_sched);
-      ("warp_split_width", Int c.Config.warp_split_width);
       ("l2_cluster", Int c.Config.l2_cluster);
-      ("prefetch_ndet", Bool c.Config.prefetch_ndet);
-      ("bypass_ndet", Bool c.Config.bypass_ndet);
-      ("pc_policies", Arr (List.map policy c.Config.pc_policies)) ]
+      ("policy", mem_policy_to_json c.Config.policy) ]
 
 let config_of_json v : Config.t =
   let cta_sched =
@@ -584,13 +690,10 @@ let config_of_json v : Config.t =
     | Str s -> raise (Parse_error ("unknown warp_sched " ^ s))
     | w -> raise (Parse_error ("bad warp_sched: " ^ type_name w))
   in
-  let policy pv =
-    ( (str_field "kernel" pv, int_field "pc" pv),
-      {
-        Config.lp_split = int_field "split" pv;
-        lp_prefetch = get_bool (member "prefetch" pv);
-        lp_bypass = get_bool (member "bypass" pv);
-      } )
+  let policy =
+    match member "policy" v with
+    | Null -> legacy_policy_of_json v
+    | p -> mem_policy_of_json p
   in
   {
     Config.n_sms = int_field "n_sms" v;
@@ -624,11 +727,8 @@ let config_of_json v : Config.t =
     max_cycles = int_field "max_cycles" v;
     cta_sched;
     warp_sched;
-    warp_split_width = int_field "warp_split_width" v;
     l2_cluster = int_field "l2_cluster" v;
-    prefetch_ndet = get_bool (member "prefetch_ndet" v);
-    bypass_ndet = get_bool (member "bypass_ndet" v);
-    pc_policies = List.map policy (get_list (member "pc_policies" v));
+    policy;
   }
 
 (* ---- classification summaries ---- *)

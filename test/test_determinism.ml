@@ -7,14 +7,16 @@
 
 let cap = 8_000
 
+let ok = function Ok r -> r | Error e -> raise (Gsim.Sim_error.Error e)
+
 let stats_json app =
   let cfg =
     Gsim.Config.default |> Gsim.Config.with_caps ~max_warp_insts:cap ()
   in
   let a = Workloads.Suite.find app in
-  let r = Critload.Runner.run_timing ~cfg a Workloads.App.Small in
+  let r = ok (Critload.Runner.run ~cfg ~scale:Workloads.App.Small a) in
   Gsim.Stats_io.Json.to_string
-    (Gsim.Stats_io.stats_to_json r.Critload.Runner.tr_stats)
+    (Gsim.Stats_io.stats_to_json (Critload.Runner.Report.stats_exn r))
 
 let test_byte_identical app () =
   let first = stats_json app in
@@ -41,13 +43,13 @@ let test_truncated_flag () =
   let cfg = Gsim.Config.default |> Gsim.Config.with_caps ~max_warp_insts:500 () in
   let a = Workloads.Suite.find "bfs" in
   let r =
-    Critload.Runner.run_timing ~cfg ~warmup:false a Workloads.App.Small
+    ok (Critload.Runner.run ~cfg ~scale:Workloads.App.Small ~warmup:false a)
   in
+  let s = Critload.Runner.Report.stats_exn r in
   Alcotest.(check bool) "capped run is marked truncated" true
-    r.Critload.Runner.tr_stats.Gsim.Stats.truncated;
+    s.Gsim.Stats.truncated;
   let text =
-    Gsim.Stats_io.Json.to_string
-      (Gsim.Stats_io.stats_to_json r.Critload.Runner.tr_stats)
+    Gsim.Stats_io.Json.to_string (Gsim.Stats_io.stats_to_json s)
   in
   let back = Gsim.Stats_io.stats_of_json (Gsim.Stats_io.Json.of_string text) in
   Alcotest.(check bool) "flag round-trips through JSON" true

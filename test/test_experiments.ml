@@ -181,14 +181,14 @@ let test_fig12_shapes () =
 
 let test_stats_conservation () =
   let app = Workloads.Suite.find "bfs" in
-  let r = E.timing_result scale app in
-  let s = r.Critload.Runner.tr_stats in
+  let r = E.timing_report scale app in
+  let s = Critload.Runner.Report.stats_exn r in
   (* every l1 event was one probe cycle *)
   Alcotest.(check int) "l1 events sum to probe cycles"
     s.Gsim.Stats.l1_probe_cycles
     (Array.fold_left ( + ) 0 s.Gsim.Stats.l1_events);
   (* unit busy cycles cannot exceed total SM cycles *)
-  let n_sms = r.Critload.Runner.tr_cfg.Gsim.Config.n_sms in
+  let n_sms = r.Critload.Runner.Report.cfg.Gsim.Config.n_sms in
   Array.iter
     (fun busy ->
       Alcotest.(check bool) "busy <= cycles * sms" true
@@ -248,8 +248,11 @@ let test_render_all_smoke () =
    instructions issue, CTAs complete, and the stats stay consistent. *)
 let timing_smoke (app : App.t) () =
   let cfg = Gsim.Config.default |> Gsim.Config.with_caps ~max_warp_insts:15_000 () in
-  let r = Critload.Runner.run_timing ~cfg app scale in
-  let s = r.Critload.Runner.tr_stats in
+  let s =
+    match Critload.Runner.run ~cfg ~scale app with
+    | Ok r -> Critload.Runner.Report.stats_exn r
+    | Error e -> raise (Gsim.Sim_error.Error e)
+  in
   Alcotest.(check bool) "instructions issued" true (s.Gsim.Stats.warp_insts > 0);
   Alcotest.(check bool) "cycles advanced" true (s.Gsim.Stats.cycles > 0);
   (* either CTAs retired or the cap stopped us mid-flight *)

@@ -15,6 +15,8 @@ let cap_cfg =
 let stats_bytes (s : Gsim.Stats.t) =
   Json.to_string (Gsim.Stats_io.stats_to_json s)
 
+let ok = function Ok r -> r | Error e -> raise (Gsim.Sim_error.Error e)
+
 (* One timing run; returns the stats document and a digest of the full
    trace event stream (each event rendered to its JSON line). *)
 let run_traced ~fast_forward ~cfg app =
@@ -24,10 +26,13 @@ let run_traced ~fast_forward ~cfg app =
         Buffer.add_string buf (Json.to_string (Gsim.Trace.event_to_json ev));
         Buffer.add_char buf '\n')
   in
-  let r = R.run_timing ~cfg ~warmup:false ~trace ~fast_forward app
-      Workloads.App.Small
+  let r =
+    ok
+      (R.run ~cfg ~scale:Workloads.App.Small ~warmup:false ~trace
+         ~fast_forward app)
   in
-  (stats_bytes r.R.tr_stats, Digest.to_hex (Digest.string (Buffer.contents buf)))
+  ( stats_bytes (R.Report.stats_exn r),
+    Digest.to_hex (Digest.string (Buffer.contents buf)) )
 
 let check_app name =
   let app = Workloads.Suite.find name in
@@ -40,9 +45,9 @@ let check_app name =
    code path than the traced case above. *)
 let run_untraced ~fast_forward ~cfg app =
   let r =
-    R.run_timing ~cfg ~warmup:false ~fast_forward app Workloads.App.Small
+    ok (R.run ~cfg ~scale:Workloads.App.Small ~warmup:false ~fast_forward app)
   in
-  stats_bytes r.R.tr_stats
+  stats_bytes (R.Report.stats_exn r)
 
 let test_untraced () =
   List.iter
@@ -64,11 +69,13 @@ let test_truncation () =
   let naive = run_untraced ~fast_forward:false ~cfg app in
   let fast = run_untraced ~fast_forward:true ~cfg app in
   Alcotest.(check string) "truncated stats identical" naive fast;
-  let r = R.run_timing ~cfg ~warmup:false ~fast_forward:true app
-      Workloads.App.Small
+  let r =
+    ok
+      (R.run ~cfg ~scale:Workloads.App.Small ~warmup:false ~fast_forward:true
+         app)
   in
   Alcotest.(check bool) "run was truncated" true
-    r.R.tr_stats.Gsim.Stats.truncated
+    (R.Report.stats_exn r).Gsim.Stats.truncated
 
 (* The warmup pre-pass (functional skip to the first heavy launch)
    composes with fast-forward. *)
@@ -76,10 +83,11 @@ let test_with_warmup () =
   let app = Workloads.Suite.find "bfs" in
   let one ff =
     let r =
-      R.run_timing ~cfg:cap_cfg ~warmup:true ~fast_forward:ff app
-        Workloads.App.Small
+      ok
+        (R.run ~cfg:cap_cfg ~scale:Workloads.App.Small ~warmup:true
+           ~fast_forward:ff app)
     in
-    stats_bytes r.R.tr_stats
+    stats_bytes (R.Report.stats_exn r)
   in
   Alcotest.(check string) "warmup + fast-forward identical" (one false)
     (one true)
@@ -93,7 +101,7 @@ let test_runner_report () =
     | Ok rep -> stats_bytes (R.Report.stats_exn rep)
     | Error e -> Alcotest.failf "run failed: %s" (Gsim.Sim_error.to_string e)
   in
-  Alcotest.(check string) "Runner.run = naive run_timing"
+  Alcotest.(check string) "Runner.run = naive cycle loop"
     (run_untraced ~fast_forward:false ~cfg:cap_cfg app)
     via_run;
   match R.run ~mode:R.Func ~scale:Workloads.App.Small app with

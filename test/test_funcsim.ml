@@ -5,6 +5,14 @@ open Ptx.Types
 module B = Ptx.Builder
 module App = Workloads.App
 
+(* unchecked functional run through the unified entry point *)
+let run_func app scale =
+  match
+    Critload.Runner.run ~mode:Critload.Runner.Func ~scale ~check:false app
+  with
+  | Ok r -> Critload.Runner.Report.func_exn r
+  | Error e -> raise (Gsim.Sim_error.Error e)
+
 let u64 n = { Ptx.Kernel.pname = n; pty = U64 }
 let u32 n = { Ptx.Kernel.pname = n; pty = U32 }
 
@@ -56,7 +64,7 @@ let test_counter_conservation () =
   List.iter
     (fun name ->
       let app = Workloads.Suite.find name in
-      let r = Critload.Runner.run_func ~check:false app App.Small in
+      let r = run_func app App.Small in
       let fs = r.Critload.Runner.fr_fs in
       let c = Gsim.Funcsim.counters fs in
       Alcotest.(check int)
@@ -80,7 +88,7 @@ let test_sharing_invariants () =
   List.iter
     (fun name ->
       let app = Workloads.Suite.find name in
-      let fs = (Critload.Runner.run_func ~check:false app App.Small).Critload.Runner.fr_fs in
+      let fs = (run_func app App.Small).Critload.Runner.fr_fs in
       let sh = Gsim.Funcsim.sharing fs in
       Alcotest.(check bool) (name ^ ": ratios in [0,1]") true
         (sh.Gsim.Funcsim.sh_block_ratio >= 0.0
@@ -101,7 +109,7 @@ let test_sharing_invariants () =
 
 let test_cta_histogram_sums_to_one () =
   let app = Workloads.Suite.find "2mm" in
-  let fs = (Critload.Runner.run_func ~check:false app App.Small).Critload.Runner.fr_fs in
+  let fs = (run_func app App.Small).Critload.Runner.fr_fs in
   let hist = Gsim.Funcsim.cta_distance_histogram fs in
   let total = List.fold_left (fun a (_, f) -> a +. f) 0.0 hist in
   Alcotest.(check (float 0.001)) "fractions sum to 1" 1.0 total;

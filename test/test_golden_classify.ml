@@ -9,6 +9,14 @@
 
 module App = Workloads.App
 
+(* unchecked functional run through the unified entry point *)
+let run_func app scale =
+  match
+    Critload.Runner.run ~mode:Critload.Runner.Func ~scale ~check:false app
+  with
+  | Ok r -> Critload.Runner.Report.func_exn r
+  | Error e -> raise (Gsim.Sim_error.Error e)
+
 (* (app, static D, static N) *)
 let golden =
   [ ("2mm", 2, 0);
@@ -35,7 +43,7 @@ let test_counts () =
   List.iter
     (fun (name, want_d, want_n) ->
       let app = Workloads.Suite.find name in
-      let r = Critload.Runner.run_func ~check:false app App.Small in
+      let r = run_func app App.Small in
       Alcotest.(check (pair int int))
         (name ^ " static D/N counts")
         (want_d, want_n)

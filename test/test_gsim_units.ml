@@ -386,7 +386,7 @@ let test_sm_reconfigure_empty () =
   let cfg = Gsim.Config.default in
   let stats = Gsim.Stats.create () in
   let sm = Gsim.Sm.create cfg ~id:0 ~stats ~warp_slots:4 in
-  Gsim.Sm.reconfigure sm ~warp_slots:8;
+  Gsim.Sm.reconfigure sm ~warp_slots:8 ~warps_per_cta:2;
   Alcotest.(check int) "resized" 8 (Gsim.Sm.free_slots sm)
 
 (* ---------------- determinism ---------------- *)

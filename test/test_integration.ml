@@ -58,18 +58,18 @@ let test_classification_stable_under_roundtrip () =
 let test_prefetcher_reduces_misses () =
   let app = Workloads.Suite.find "spmv" in
   let cap = Gsim.Config.default |> Gsim.Config.with_caps ~max_warp_insts:40_000 () in
-  let base = Critload.Runner.run_timing ~cfg:cap app App.Small in
-  let pf =
-    Critload.Runner.run_timing
-      ~cfg:(cap |> Gsim.Config.with_prefetch_ndet true)
-      app App.Small
+  let run cfg =
+    match Critload.Runner.run ~cfg ~scale:App.Small app with
+    | Ok r -> Critload.Runner.Report.stats_exn r
+    | Error e -> raise (Gsim.Sim_error.Error e)
   in
-  let miss r =
-    Gsim.Stats.l1_miss_ratio r.Critload.Runner.tr_stats
-      Dataflow.Classify.Nondeterministic
+  let base = run cap in
+  let pf = run (cap |> Gsim.Config.with_prefetch_ndet true) in
+  let miss s =
+    Gsim.Stats.l1_miss_ratio s Dataflow.Classify.Nondeterministic
   in
   Alcotest.(check bool) "prefetches were issued" true
-    (pf.Critload.Runner.tr_stats.Gsim.Stats.prefetches_issued > 0);
+    (pf.Gsim.Stats.prefetches_issued > 0);
   Alcotest.(check bool)
     (Printf.sprintf "N miss ratio reduced (%.3f -> %.3f)" (miss base) (miss pf))
     true

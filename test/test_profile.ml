@@ -130,15 +130,18 @@ let test_json_roundtrip () =
 
 (* ---------------- golden per-category digests ---------------- *)
 
+let ok = function Ok r -> r | Error e -> raise (Gsim.Sim_error.Error e)
+
 let run_profiled ?(cfg = Gsim.Config.default) app_name =
   let app = Workloads.Suite.find app_name in
   let cfg = cfg |> Gsim.Config.with_caps ~max_warp_insts:8000 () in
   let p = P.create () in
   let r =
-    Critload.Runner.run_timing ~cfg ~warmup:false ~trace:(P.sink p) app
-      Workloads.App.Small
+    ok
+      (Critload.Runner.run ~cfg ~scale:Workloads.App.Small ~warmup:false
+         ~trace:(P.sink p) app)
   in
-  (r.Critload.Runner.tr_stats, p)
+  (Critload.Runner.Report.stats_exn r, p)
 
 let digest p =
   let block name (cp : P.class_profile) =
@@ -183,19 +186,21 @@ let reconcile_app name () =
     Gsim.Config.default |> Gsim.Config.with_caps ~max_warp_insts:8000 ()
   in
   let r0 =
-    Critload.Runner.run_timing ~cfg ~warmup:false app Workloads.App.Small
+    ok
+      (Critload.Runner.run ~cfg ~scale:Workloads.App.Small ~warmup:false app)
   in
   let p = P.create () in
   let r1 =
-    Critload.Runner.run_timing ~cfg ~warmup:false ~trace:(P.sink p) app
-      Workloads.App.Small
+    ok
+      (Critload.Runner.run ~cfg ~scale:Workloads.App.Small ~warmup:false
+         ~trace:(P.sink p) app)
   in
   (* the trace layer must not perturb the simulation at all *)
   let stat_bytes s = Json.to_string (Gsim.Stats_io.stats_to_json s) in
   Alcotest.(check string) "stats byte-identical with tracing on"
-    (stat_bytes r0.Critload.Runner.tr_stats)
-    (stat_bytes r1.Critload.Runner.tr_stats);
-  let s = r1.Critload.Runner.tr_stats in
+    (stat_bytes (Critload.Runner.Report.stats_exn r0))
+    (stat_bytes (Critload.Runner.Report.stats_exn r1));
+  let s = Critload.Runner.Report.stats_exn r1 in
   (* per-class counters *)
   List.iteri
     (fun i cls ->

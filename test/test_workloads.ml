@@ -8,6 +8,14 @@ module Prng = Workloads.Prng
 
 (* ---------------- per-app end-to-end checks ---------------- *)
 
+(* unchecked functional run through the unified entry point *)
+let run_func app scale =
+  match
+    Critload.Runner.run ~mode:Critload.Runner.Func ~scale ~check:false app
+  with
+  | Ok r -> Critload.Runner.Report.func_exn r
+  | Error e -> raise (Gsim.Sim_error.Error e)
+
 let run_app_check (app : App.t) () =
   let run = app.App.make App.Small in
   let launches = ref 0 in
@@ -42,7 +50,7 @@ let expected_has_nondet = function
 let test_static_classification () =
   List.iter
     (fun (app : App.t) ->
-      let r = Critload.Runner.run_func ~check:false app App.Small in
+      let r = run_func app App.Small in
       let has_n = r.Critload.Runner.fr_static_n > 0 in
       Alcotest.(check bool)
         (Printf.sprintf "%s static non-determinism" app.App.name)
